@@ -1,0 +1,83 @@
+//! Topology-construction overhead (paper §V-B).
+//!
+//! "The overhead of our distance-aware framework comes mostly from sorting
+//! the edges between processes on the topology information. ... This
+//! overhead of sorting up to thousands of edges is minimal in intra-node
+//! cases. However, on a large scale system, it's difficult for these greedy
+//! algorithms to scale well with fully-connected graphs."
+//!
+//! These benchmarks quantify that discussion: distance-matrix computation,
+//! edge sorting, Kruskal tree construction and ring construction from 16 up
+//! to 1024 ranks (the complete graph then has ~524k edges).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdac_core::allgather_ring::Ring;
+use pdac_core::bcast_tree::build_bcast_tree;
+use pdac_core::edges::{bcast_edge_order, ring_edge_order};
+use pdac_core::sched::{allgather_schedule, bcast_schedule, SchedConfig};
+use pdac_hwtopo::{machines, BindingPolicy, DistanceMatrix};
+
+/// A machine with `ranks` cores shaped like a big NUMA box.
+fn setup(ranks: usize) -> DistanceMatrix {
+    let boards = if ranks >= 256 { 4 } else { 2 };
+    let numa = 4;
+    let cores = ranks / (boards * numa);
+    let machine = machines::synthetic(boards, numa, cores, true);
+    assert_eq!(machine.num_cores(), ranks);
+    let binding = BindingPolicy::Random { seed: 1 }.bind(&machine, ranks).unwrap();
+    DistanceMatrix::for_binding(&machine, &binding)
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    for ranks in [16usize, 48, 128, 256, 1024] {
+        let dist = setup(ranks);
+        let edges = ranks * (ranks - 1) / 2;
+        group.throughput(Throughput::Elements(edges as u64));
+
+        group.bench_with_input(BenchmarkId::new("bcast_edge_sort", ranks), &dist, |b, d| {
+            b.iter(|| bcast_edge_order(d, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("bcast_tree", ranks), &dist, |b, d| {
+            b.iter(|| build_bcast_tree(d, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("ring_edge_sort", ranks), &dist, |b, d| {
+            b.iter(|| ring_edge_order(d))
+        });
+        group.bench_with_input(BenchmarkId::new("allgather_ring", ranks), &dist, |b, d| {
+            b.iter(|| Ring::build(d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_distance_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_matrix");
+    for ranks in [48usize, 256, 1024] {
+        let boards = if ranks >= 256 { 4 } else { 2 };
+        let machine = machines::synthetic(boards, 4, ranks / (boards * 4), true);
+        let binding = BindingPolicy::Random { seed: 1 }.bind(&machine, ranks).unwrap();
+        group.throughput(Throughput::Elements((ranks * ranks) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &(), |b, _| {
+            b.iter(|| DistanceMatrix::for_binding(&machine, &binding))
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedule_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_generation");
+    let dist = setup(48);
+    let tree = build_bcast_tree(&dist, 0);
+    let ring = Ring::build(&dist);
+    group.bench_function("bcast_8M_pipelined", |b| {
+        b.iter(|| bcast_schedule(&tree, 8 << 20, &SchedConfig::default()))
+    });
+    group.bench_function("allgather_48_ranks", |b| {
+        b.iter(|| allgather_schedule(&ring, 64 << 10))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_distance_matrix, bench_schedule_generation);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Figure 6 — broadcast bandwidth on IG (48 ranks, off-cache):
+//! Open MPI tuned vs the distance-aware KNEM collective, under the
+//! contiguous and cross-socket placements.
+//!
+//! Paper's claims: tuned loses > 45 % in the cross-socket case for large
+//! messages; the KNEM collective stays within 14 % across placements and
+//! matches or beats tuned for large messages.
+
+use pdac_bench::{max_loss_pct, render_table, run_figure, write_json, BwKind, Curve};
+use pdac_core::baseline::tuned::{self, TunedConfig};
+use pdac_core::AdaptiveColl;
+use pdac_hwtopo::{machines, BindingPolicy};
+use pdac_simnet::report::imb_sizes;
+
+fn main() {
+    let ig = machines::ig();
+    let sizes = imb_sizes();
+    let tuned_cfg = TunedConfig::default();
+    let coll = AdaptiveColl::default();
+
+    let curves = vec![
+        Curve {
+            label: "Open MPI_contiguous".into(),
+            policy: BindingPolicy::Contiguous,
+            build: Box::new(move |comm, size| tuned::bcast(comm.size(), 0, size, &tuned_cfg)),
+        },
+        Curve {
+            label: "Open MPI_crosssocket".into(),
+            policy: BindingPolicy::CrossSocket,
+            build: Box::new(move |comm, size| tuned::bcast(comm.size(), 0, size, &tuned_cfg)),
+        },
+        Curve {
+            label: "KNEMColl_contiguous".into(),
+            policy: BindingPolicy::Contiguous,
+            build: {
+                let coll = coll.clone();
+                Box::new(move |comm, size| coll.bcast(comm, 0, size))
+            },
+        },
+        Curve {
+            label: "KNEMColl_crosssocket".into(),
+            policy: BindingPolicy::CrossSocket,
+            build: {
+                let coll = coll.clone();
+                Box::new(move |comm, size| coll.bcast(comm, 0, size))
+            },
+        },
+    ];
+
+    let series = run_figure(&ig, 48, &sizes, &curves, BwKind::Bcast, true);
+    print!("{}", render_table("Figure 6: Broadcast on IG, tuned vs KNEM collective", &series));
+    println!();
+    print!("{}", pdac_bench::render_chart(&series, 12));
+
+    let tuned_loss = max_loss_pct(&series[0], &series[1], 256 << 10);
+    let knem_var = max_loss_pct(&series[2], &series[3], 256 << 10)
+        .max(max_loss_pct(&series[3], &series[2], 256 << 10));
+    let knem_vs_tuned_8m =
+        series[2].bw_at(8 << 20).unwrap_or(0.0) / series[0].bw_at(8 << 20).unwrap_or(f64::NAN);
+    println!();
+    println!("claims:");
+    println!(
+        "  tuned cross-socket loss (>=256K)      : {tuned_loss:5.1}%  (paper: > 45%)  [{}]",
+        if tuned_loss > 45.0 { "OK" } else { "MISS" }
+    );
+    println!(
+        "  KNEM placement variance (>=256K)      : {knem_var:5.1}%  (paper: < 14%)  [{}]",
+        if knem_var < 14.0 { "OK" } else { "MISS" }
+    );
+    println!(
+        "  KNEM/tuned contiguous ratio at 8M     : {knem_vs_tuned_8m:5.2}x (paper: >= 1)   [{}]",
+        if knem_vs_tuned_8m >= 0.99 { "OK" } else { "MISS" }
+    );
+
+    let path = write_json("fig6", &series).expect("write results");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,77 @@
+//! Figure 7 — allgather bandwidth on IG (48 ranks, off-cache):
+//! Open MPI tuned vs the distance-aware KNEM collective under the
+//! contiguous and cross-socket placements.
+//!
+//! Paper's claims: tuned's placement variance reaches 58 % (an allgather is
+//! more communication-intensive than a broadcast); the KNEM collective is
+//! stable regardless of binding.
+
+use pdac_bench::{max_loss_pct, render_table, run_figure, write_json, BwKind, Curve};
+use pdac_core::baseline::tuned::{self, TunedConfig};
+use pdac_core::AdaptiveColl;
+use pdac_hwtopo::{machines, BindingPolicy};
+use pdac_simnet::report::imb_sizes;
+
+fn main() {
+    let ig = machines::ig();
+    let sizes = imb_sizes();
+    let tuned_cfg = TunedConfig::default();
+    let coll = AdaptiveColl::default();
+
+    let curves = vec![
+        Curve {
+            label: "Open MPI_contiguous".into(),
+            policy: BindingPolicy::Contiguous,
+            build: Box::new(move |comm, size| tuned::allgather(comm.size(), size, &tuned_cfg)),
+        },
+        Curve {
+            label: "Open MPI_crosssocket".into(),
+            policy: BindingPolicy::CrossSocket,
+            build: Box::new(move |comm, size| tuned::allgather(comm.size(), size, &tuned_cfg)),
+        },
+        Curve {
+            label: "KNEMColl_contiguous".into(),
+            policy: BindingPolicy::Contiguous,
+            build: {
+                let coll = coll.clone();
+                Box::new(move |comm, size| coll.allgather(comm, size))
+            },
+        },
+        Curve {
+            label: "KNEMColl_crosssocket".into(),
+            policy: BindingPolicy::CrossSocket,
+            build: {
+                let coll = coll.clone();
+                Box::new(move |comm, size| coll.allgather(comm, size))
+            },
+        },
+    ];
+
+    let series = run_figure(&ig, 48, &sizes, &curves, BwKind::Allgather, true);
+    print!("{}", render_table("Figure 7: Allgather on IG, tuned vs KNEM collective", &series));
+    println!();
+    print!("{}", pdac_bench::render_chart(&series, 12));
+
+    let tuned_loss = max_loss_pct(&series[0], &series[1], 64 << 10);
+    let knem_var = max_loss_pct(&series[2], &series[3], 64 << 10)
+        .max(max_loss_pct(&series[3], &series[2], 64 << 10));
+    let knem_wins_large = series[2].bw_at(8 << 20).unwrap_or(0.0)
+        >= 0.99 * series[0].bw_at(8 << 20).unwrap_or(f64::NAN);
+    println!();
+    println!("claims:");
+    println!(
+        "  tuned placement variance (>=64K)      : {tuned_loss:5.1}%  (paper: up to 58%) [{}]",
+        if tuned_loss > 40.0 { "OK" } else { "MISS" }
+    );
+    println!(
+        "  KNEM placement variance (>=64K)       : {knem_var:5.1}%  (paper: stable)    [{}]",
+        if knem_var < 14.0 { "OK" } else { "MISS" }
+    );
+    println!(
+        "  KNEM >= tuned at 8M (contiguous)      : {knem_wins_large}  (paper: yes)       [{}]",
+        if knem_wins_large { "OK" } else { "MISS" }
+    );
+
+    let path = write_json("fig7", &series).expect("write results");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,68 @@
+//! Figure 8 — KNEM broadcast on Zoot (16 ranks, 32 KB – 8 MB) over two
+//! explicit topologies: the two-level hierarchical tree ("4 sets", one per
+//! socket) and the distance-collapsed linear topology, under contiguous and
+//! cross-socket bindings.
+//!
+//! Paper's claims: the linear topology outperforms the hierarchical one for
+//! large messages — Zoot's four sockets share a single memory controller,
+//! so splitting by socket only deepens the tree without relieving the
+//! bottleneck (§V-B) — and the distance-aware component beats the Figure 2
+//! MPICH2 curves on the same machine.
+
+use pdac_bench::{render_table, run_figure, write_json, BwKind, Curve};
+use pdac_core::adaptive::{AdaptiveColl, BcastTopology};
+use pdac_hwtopo::{machines, BindingPolicy};
+use pdac_simnet::report::large_sizes;
+
+fn main() {
+    let zoot = machines::zoot();
+    let sizes = large_sizes();
+    let coll = AdaptiveColl::default();
+
+    let curve = |label: &str, policy: BindingPolicy, topo: BcastTopology| {
+        let coll = coll.clone();
+        Curve {
+            label: label.into(),
+            policy,
+            build: Box::new(move |comm, size| coll.bcast_with_topology(comm, 0, size, topo)),
+        }
+    };
+
+    let curves = vec![
+        curve("KNEMColl_4sets_contiguous", BindingPolicy::Contiguous, BcastTopology::Hierarchical),
+        curve("KNEMColl_4sets_crosssocket", BindingPolicy::CrossSocket, BcastTopology::Hierarchical),
+        curve("KNEMColl_linear_contiguous", BindingPolicy::Contiguous, BcastTopology::Collapsed),
+        curve("KNEMColl_linear_crosssocket", BindingPolicy::CrossSocket, BcastTopology::Collapsed),
+    ];
+
+    // §V-A: the KNEM collective experiments run IMB with off-cache.
+    let series = run_figure(&zoot, 16, &sizes, &curves, BwKind::Bcast, true);
+    print!("{}", render_table("Figure 8: KNEM Bcast on Zoot, 4 sets vs linear", &series));
+    println!();
+    print!("{}", pdac_bench::render_chart(&series, 12));
+
+    // Linear must win (or tie) for every size in both placements.
+    let linear_wins = sizes.iter().all(|&s| {
+        series[2].bw_at(s).unwrap_or(0.0) >= 0.98 * series[0].bw_at(s).unwrap_or(f64::NAN)
+            && series[3].bw_at(s).unwrap_or(0.0) >= 0.98 * series[1].bw_at(s).unwrap_or(f64::NAN)
+    });
+    // Placement stability of the distance-aware component.
+    let stable = sizes.iter().all(|&s| {
+        let a = series[2].bw_at(s).unwrap_or(0.0);
+        let b = series[3].bw_at(s).unwrap_or(0.0);
+        (a - b).abs() / a.max(b) < 0.15
+    });
+    println!();
+    println!("claims:");
+    println!(
+        "  linear >= hierarchical (all sizes)    : {linear_wins}  (paper: linear wins) [{}]",
+        if linear_wins { "OK" } else { "MISS" }
+    );
+    println!(
+        "  placement variance < 15% (linear)     : {stable}  (paper: stable)      [{}]",
+        if stable { "OK" } else { "MISS" }
+    );
+
+    let path = write_json("fig8", &series).expect("write results");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,82 @@
+//! "Next generation architectures" (§V-B): the paper predicts deeper
+//! memory hierarchies and asks whether the framework keeps working when
+//! new distance classes appear. This experiment runs the unchanged stack
+//! on a Magny-Cours-style machine — multi-die packages with one memory
+//! controller per die, the hardware that realizes the paper's distance
+//! **4** — and checks that the distance-aware collectives stay
+//! placement-blind while the rank-order baseline swings.
+
+use pdac_bench::{max_loss_pct, render_table, run_figure, write_json, BwKind, Curve};
+use pdac_core::baseline::tuned::{self, TunedConfig};
+use pdac_core::bcast_tree::build_bcast_tree;
+use pdac_core::AdaptiveColl;
+use pdac_hwtopo::{machines, BindingPolicy, DistanceMatrix};
+use pdac_simnet::report::imb_sizes;
+
+fn main() {
+    let m = machines::magny_cours();
+    let n = m.num_cores();
+    println!("machine: {} — {} cores, {} sockets, {} NUMA nodes (one per die)",
+        m.name, n, m.num_sockets, m.num_numa);
+
+    // The new hierarchy level, visible in the distance classes and the tree.
+    let binding = BindingPolicy::CrossSocket.bind(&m, n).expect("binding fits");
+    let dist = DistanceMatrix::for_binding(&m, &binding);
+    println!("distance classes: {:?} (4 = same socket, different controllers)\n", dist.classes());
+    let tree = build_bcast_tree(&dist, 0);
+    for class in dist.classes() {
+        println!("  bcast tree edges at distance {class}: {}", tree.edges_at_distance(&dist, class));
+    }
+    println!();
+
+    let sizes: Vec<usize> = imb_sizes().into_iter().step_by(2).collect();
+    let tuned_cfg = TunedConfig::default();
+    let coll = AdaptiveColl::default();
+    let curves = vec![
+        Curve {
+            label: "tuned_contiguous".into(),
+            policy: BindingPolicy::Contiguous,
+            build: Box::new(move |c, s| tuned::bcast(c.size(), 0, s, &tuned_cfg)),
+        },
+        Curve {
+            label: "tuned_crosssocket".into(),
+            policy: BindingPolicy::CrossSocket,
+            build: Box::new(move |c, s| tuned::bcast(c.size(), 0, s, &tuned_cfg)),
+        },
+        Curve {
+            label: "KNEMColl_contiguous".into(),
+            policy: BindingPolicy::Contiguous,
+            build: {
+                let coll = coll.clone();
+                Box::new(move |c, s| coll.bcast(c, 0, s))
+            },
+        },
+        Curve {
+            label: "KNEMColl_crosssocket".into(),
+            policy: BindingPolicy::CrossSocket,
+            build: {
+                let coll = coll.clone();
+                Box::new(move |c, s| coll.bcast(c, 0, s))
+            },
+        },
+    ];
+    let series = run_figure(&m, n, &sizes, &curves, BwKind::Bcast, true);
+    print!("{}", render_table("Broadcast on Magny-Cours (48 ranks, off-cache)", &series));
+
+    let tuned_loss = max_loss_pct(&series[0], &series[1], 256 << 10);
+    let knem_var = max_loss_pct(&series[2], &series[3], 256 << 10)
+        .max(max_loss_pct(&series[3], &series[2], 256 << 10));
+    println!();
+    println!("claims (the framework generalizes to the new hierarchy level):");
+    println!(
+        "  tuned placement loss (>=256K)  : {tuned_loss:5.1}%  [{}]",
+        if tuned_loss > 20.0 { "OK" } else { "MISS" }
+    );
+    println!(
+        "  KNEM placement variance        : {knem_var:5.1}%  [{}]",
+        if knem_var < 14.0 { "OK" } else { "MISS" }
+    );
+
+    let path = write_json("future_magny", &series).expect("write results");
+    println!("\nwrote {}", path.display());
+}

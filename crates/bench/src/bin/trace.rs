@@ -1,0 +1,49 @@
+//! Dumps a Chrome-tracing timeline of one simulated collective.
+//!
+//! Usage:
+//! `cargo run --release -p pdac-bench --bin trace [bcast|allgather] [bytes]`
+//!
+//! Writes `results/trace_<what>.json`; open it in `chrome://tracing` or
+//! <https://ui.perfetto.dev> to see the per-rank pipeline of the
+//! distance-aware collective on IG under the cross-socket placement.
+
+use std::sync::Arc;
+
+use pdac_core::AdaptiveColl;
+use pdac_hwtopo::{machines, BindingPolicy};
+use pdac_mpisim::Communicator;
+use pdac_simnet::{trace::to_chrome_trace, SimConfig, SimExecutor};
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "bcast".into());
+    let bytes: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 20);
+
+    let machine = Arc::new(machines::ig());
+    let binding = BindingPolicy::CrossSocket.bind(&machine, 48).expect("binding fits");
+    let comm = Communicator::world(Arc::clone(&machine), binding.clone());
+    let coll = AdaptiveColl::default();
+
+    let schedule = match what.as_str() {
+        "allgather" => coll.allgather(&comm, bytes),
+        _ => coll.bcast(&comm, 0, bytes),
+    };
+    let report = SimExecutor::new(&machine, &binding, SimConfig { allow_cache: false })
+        .run(&schedule)
+        .expect("schedule validates");
+
+    let trace = to_chrome_trace(&schedule, &report);
+    std::fs::create_dir_all("results").expect("results dir");
+    let path = format!("results/trace_{what}.json");
+    std::fs::write(&path, trace).expect("write trace");
+    println!(
+        "{}: {} ops over {} ranks, {:.2} ms simulated",
+        schedule.name,
+        schedule.ops.len(),
+        schedule.num_ranks,
+        report.total_time * 1e3
+    );
+    println!("wrote {path} — open in chrome://tracing or ui.perfetto.dev");
+}

@@ -1,0 +1,230 @@
+//! The adaptive collective framework (§IV): communicator + binding +
+//! machine → distance matrix → runtime topology per collective call.
+//!
+//! Includes the §V-B refinement: for large messages, distance classes whose
+//! processes all share a memory controller are **collapsed**, because the
+//! controller — not the intra-socket hierarchy — is the bottleneck: "the
+//! single memory controller will be overloaded with write requests, and the
+//! potential benefit we can get on the read side ... is totally
+//! annihilated". On Zoot this turns the hierarchical tree into the linear
+//! topology that Figure 8 shows winning for messages above 16 KB; on IG
+//! (per-socket controllers) collapsing changes nothing.
+
+use pdac_hwtopo::{Distance, DistanceMatrix};
+use pdac_mpisim::Communicator;
+use pdac_simnet::Schedule;
+
+use crate::allgather_ring::Ring;
+use crate::bcast_tree::build_bcast_tree;
+use crate::sched::{allgather_schedule, bcast_schedule, SchedConfig};
+use crate::tree::Tree;
+
+/// Topology refinement for broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BcastTopology {
+    /// Full distance hierarchy (the paper's "4 sets" Zoot configuration).
+    Hierarchical,
+    /// Distances 1–3 (same memory controller) merged — on a single-MC
+    /// machine this degenerates to the linear topology of Figure 8.
+    Collapsed,
+}
+
+/// Framework policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptivePolicy {
+    /// Pipeline configuration for tree collectives.
+    pub sched: SchedConfig,
+    /// Above this message size, same-memory-controller distance classes are
+    /// collapsed (§V-B puts the Zoot crossover at 16 KB).
+    pub collapse_intra_mc_above: usize,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy { sched: SchedConfig::default(), collapse_intra_mc_above: 16 * 1024 }
+    }
+}
+
+/// Merges the same-controller distance classes (1, 2, 3 → 1) while keeping
+/// cross-controller classes distinct.
+pub fn collapse_intra_mc(dist: &DistanceMatrix) -> DistanceMatrix {
+    let n = dist.num_ranks();
+    let mut d = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let w = dist.get(i, j);
+            d.push(if (1..=3).contains(&w) { 1 } else { w });
+        }
+    }
+    DistanceMatrix::from_raw(n, d)
+}
+
+/// The distance-aware adaptive collective component ("KNEM collective").
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveColl {
+    policy: AdaptivePolicy,
+}
+
+impl AdaptiveColl {
+    /// Component with an explicit policy.
+    pub fn new(policy: AdaptivePolicy) -> Self {
+        AdaptiveColl { policy }
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> &AdaptivePolicy {
+        &self.policy
+    }
+
+    /// Which refinement the framework picks for a broadcast of `bytes`.
+    pub fn bcast_topology_choice(&self, comm: &Communicator, bytes: usize) -> BcastTopology {
+        // Collapsing only matters when several distance classes share a
+        // controller, i.e. some class in 2..=3 is present.
+        let classes = comm.distances().classes();
+        let has_intra_mc_structure = classes.iter().any(|&c| (2..=3).contains(&c))
+            && classes.first().copied() != classes.last().copied();
+        if bytes > self.policy.collapse_intra_mc_above && has_intra_mc_structure {
+            BcastTopology::Collapsed
+        } else {
+            BcastTopology::Hierarchical
+        }
+    }
+
+    /// The broadcast tree the framework would use (exposed for inspection
+    /// and for the Figure 8 ablation).
+    pub fn bcast_tree(&self, comm: &Communicator, root: usize, topo: BcastTopology) -> Tree {
+        let dist = comm.distances();
+        match topo {
+            BcastTopology::Hierarchical => build_bcast_tree(&dist, root),
+            BcastTopology::Collapsed => build_bcast_tree(&collapse_intra_mc(&dist), root),
+        }
+    }
+
+    /// Distance-aware broadcast: build the (possibly collapsed) tree and
+    /// compile it to a pipelined one-sided schedule.
+    pub fn bcast(&self, comm: &Communicator, root: usize, bytes: usize) -> Schedule {
+        let topo = self.bcast_topology_choice(comm, bytes);
+        let tree = self.bcast_tree(comm, root, topo);
+        let mut s = bcast_schedule(&tree, bytes, &self.policy.sched);
+        s.name = format!(
+            "knemcoll-bcast/{}",
+            match topo {
+                BcastTopology::Hierarchical => "hier",
+                BcastTopology::Collapsed => "linearized",
+            }
+        );
+        s
+    }
+
+    /// Explicit-topology broadcast (the Figure 8 "4 sets" vs "linear"
+    /// comparison bypasses the size rule).
+    pub fn bcast_with_topology(
+        &self,
+        comm: &Communicator,
+        root: usize,
+        bytes: usize,
+        topo: BcastTopology,
+    ) -> Schedule {
+        let tree = self.bcast_tree(comm, root, topo);
+        bcast_schedule(&tree, bytes, &self.policy.sched)
+    }
+
+    /// The allgather ring the framework would use.
+    pub fn allgather_ring(&self, comm: &Communicator) -> Ring {
+        Ring::build(&comm.distances())
+    }
+
+    /// Distance-aware allgather (Algorithm 2 + §IV-C execution).
+    pub fn allgather(&self, comm: &Communicator, block_bytes: usize) -> Schedule {
+        let ring = self.allgather_ring(comm);
+        let mut s = allgather_schedule(&ring, block_bytes);
+        s.name = "knemcoll-allgather".into();
+        s
+    }
+}
+
+/// Largest distance class present in a communicator — handy for callers
+/// deciding whether distance-awareness can matter at all.
+pub fn max_distance(comm: &Communicator) -> Distance {
+    comm.distances().max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{verify_allgather, verify_bcast};
+    use pdac_hwtopo::{machines, BindingPolicy};
+    use std::sync::Arc;
+
+    fn comm(machine: pdac_hwtopo::Machine, policy: BindingPolicy) -> Communicator {
+        let n = machine.num_cores();
+        let m = Arc::new(machine);
+        let binding = policy.bind(&m, n).unwrap();
+        Communicator::world(m, binding)
+    }
+
+    #[test]
+    fn zoot_collapses_to_linear_for_large_messages() {
+        let c = comm(machines::zoot(), BindingPolicy::Contiguous);
+        let coll = AdaptiveColl::default();
+        assert_eq!(coll.bcast_topology_choice(&c, 8 << 20), BcastTopology::Collapsed);
+        assert_eq!(coll.bcast_topology_choice(&c, 8 << 10), BcastTopology::Hierarchical);
+        let tree = coll.bcast_tree(&c, 0, BcastTopology::Collapsed);
+        assert_eq!(tree.depth(), 1, "every rank hangs off the root:\n{}", tree.render());
+        let hier = coll.bcast_tree(&c, 0, BcastTopology::Hierarchical);
+        assert!(hier.depth() > 1);
+    }
+
+    #[test]
+    fn ig_is_unaffected_by_collapsing() {
+        // IG's classes are {1, 5, 6}: no 2/3 structure to collapse.
+        let c = comm(machines::ig(), BindingPolicy::CrossSocket);
+        let coll = AdaptiveColl::default();
+        assert_eq!(coll.bcast_topology_choice(&c, 8 << 20), BcastTopology::Hierarchical);
+        let a = coll.bcast_tree(&c, 0, BcastTopology::Hierarchical);
+        let b = coll.bcast_tree(&c, 0, BcastTopology::Collapsed);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collapse_preserves_cross_mc_classes() {
+        let c = comm(machines::zoot(), BindingPolicy::Contiguous);
+        let collapsed = collapse_intra_mc(&c.distances());
+        assert_eq!(collapsed.classes(), vec![1]);
+        let ig = comm(machines::ig(), BindingPolicy::Contiguous);
+        let collapsed_ig = collapse_intra_mc(&ig.distances());
+        assert_eq!(collapsed_ig.classes(), vec![1, 5, 6]);
+    }
+
+    #[test]
+    fn adaptive_bcast_and_allgather_are_correct_everywhere() {
+        let coll = AdaptiveColl::default();
+        for machine in machines::all_predefined() {
+            for policy in [BindingPolicy::Contiguous, BindingPolicy::Random { seed: 4 }] {
+                let c = comm(machine.clone(), policy);
+                let s = coll.bcast(&c, 0, 100_000);
+                verify_bcast(&s, 0, 100_000)
+                    .unwrap_or_else(|e| panic!("{}: {e}", machine.name));
+                let s = coll.allgather(&c, 3000);
+                verify_allgather(&s, 3000)
+                    .unwrap_or_else(|e| panic!("{}: {e}", machine.name));
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_names_reflect_choices() {
+        let c = comm(machines::zoot(), BindingPolicy::Contiguous);
+        let coll = AdaptiveColl::default();
+        assert!(coll.bcast(&c, 0, 1 << 20).name.contains("linearized"));
+        assert!(coll.bcast(&c, 0, 1 << 10).name.contains("hier"));
+        assert_eq!(coll.allgather(&c, 64).name, "knemcoll-allgather");
+    }
+
+    #[test]
+    fn max_distance_reports_hierarchy() {
+        assert_eq!(max_distance(&comm(machines::ig(), BindingPolicy::Contiguous)), 6);
+        assert_eq!(max_distance(&comm(machines::zoot(), BindingPolicy::Contiguous)), 3);
+        assert_eq!(max_distance(&comm(machines::flat_smp(4), BindingPolicy::Contiguous)), 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! Distance-aware Allreduce (future-work extension, §VI): reduce to the
+//! rank-0 leader over the Algorithm-1 tree, then pipeline-broadcast the
+//! result down the same tree.
+
+use pdac_mpisim::Communicator;
+use pdac_simnet::Schedule;
+
+use crate::bcast_tree::build_bcast_tree;
+use crate::sched::{allreduce_schedule, SchedConfig};
+
+/// Builds the distance-aware allreduce schedule for `comm`.
+pub fn distance_aware(comm: &Communicator, bytes: usize, cfg: &SchedConfig) -> Schedule {
+    let tree = build_bcast_tree(&comm.distances(), 0);
+    let mut s = allreduce_schedule(&tree, bytes, cfg);
+    s.name = format!("dist-allreduce/{}", comm.name());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_allreduce;
+    use pdac_hwtopo::{machines, BindingPolicy};
+    use std::sync::Arc;
+
+    #[test]
+    fn allreduce_correct_under_bindings() {
+        for policy in [BindingPolicy::Contiguous, BindingPolicy::CrossSocket] {
+            let ig = Arc::new(machines::ig());
+            let binding = policy.bind(&ig, 48).unwrap();
+            let comm = Communicator::world(ig, binding);
+            let s = distance_aware(&comm, 50_000, &SchedConfig::default());
+            verify_allreduce(&s, 50_000).unwrap();
+        }
+    }
+
+    #[test]
+    fn allreduce_pipelines_large_payloads() {
+        let ig = Arc::new(machines::ig());
+        let binding = BindingPolicy::Contiguous.bind(&ig, 8).unwrap();
+        let comm = Communicator::world(ig, binding);
+        let small = distance_aware(&comm, 1024, &SchedConfig::default());
+        let large = distance_aware(&comm, 1 << 20, &SchedConfig::default());
+        assert!(large.num_copies() > small.num_copies(), "chunked broadcast phase");
+    }
+}

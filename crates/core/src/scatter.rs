@@ -1,0 +1,32 @@
+//! Distance-aware Scatter (future-work extension, §VI): the root exposes
+//! its buffer once and every rank pulls its own block concurrently — the
+//! one-sided dual of [`crate::gather`] without root-side serialization.
+
+use pdac_mpisim::Communicator;
+use pdac_simnet::Schedule;
+
+use crate::sched::scatter_schedule;
+
+/// Builds the scatter schedule for `comm` rooted at `root`.
+pub fn distance_aware(comm: &Communicator, root: usize, block_bytes: usize) -> Schedule {
+    let mut s = scatter_schedule(root, comm.size(), block_bytes);
+    s.name = format!("dist-scatter/{}", comm.name());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_scatter;
+    use pdac_hwtopo::{machines, BindingPolicy};
+    use std::sync::Arc;
+
+    #[test]
+    fn scatter_correct() {
+        let ig = Arc::new(machines::ig());
+        let binding = BindingPolicy::Random { seed: 21 }.bind(&ig, 48).unwrap();
+        let comm = Communicator::world(ig, binding);
+        let s = distance_aware(&comm, 30, 777);
+        verify_scatter(&s, 30, 777).unwrap();
+    }
+}

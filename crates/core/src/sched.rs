@@ -1,0 +1,415 @@
+//! Compiling topologies into executable schedules.
+//!
+//! The distance-aware collectives are *one-sided*: a process registers the
+//! buffer it wants to expose, notifies the consumer out-of-band, and the
+//! consumer performs a KNEM single-copy pull (§IV-B/IV-C). Large broadcast
+//! messages are pipelined: the payload is split into chunks and a process
+//! notifies its children as soon as one chunk has arrived, so transfers
+//! overlap along tree paths.
+
+use pdac_simnet::{BufId, DataOp, Mech, OpId, Schedule, ScheduleBuilder};
+
+use crate::allgather_ring::Ring;
+use crate::tree::Tree;
+
+/// Schedule-generation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedConfig {
+    /// Pipeline chunk size in bytes for tree collectives; `0` disables
+    /// chunking. Only messages larger than one chunk are split.
+    pub pipeline_chunk: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig { pipeline_chunk: 128 * 1024 }
+    }
+}
+
+/// Splits `bytes` into pipeline chunks `(offset, len)`.
+fn chunks(bytes: usize, chunk: usize) -> Vec<(usize, usize)> {
+    if chunk == 0 || bytes <= chunk {
+        return vec![(0, bytes)];
+    }
+    let n = bytes.div_ceil(chunk);
+    (0..n).map(|c| (c * chunk, chunk.min(bytes - c * chunk))).collect()
+}
+
+/// Source buffer of rank `r` in a broadcast tree: the root broadcasts its
+/// `Send` buffer, everyone else forwards out of `Recv`.
+fn bcast_src(tree: &Tree, r: usize) -> BufId {
+    if r == tree.root {
+        BufId::Send
+    } else {
+        BufId::Recv
+    }
+}
+
+/// Distance-aware (or any tree-shaped) pipelined broadcast:
+/// per chunk, a parent notifies each child once the chunk has arrived and
+/// the child pulls it with a KNEM single copy.
+pub fn bcast_schedule(tree: &Tree, bytes: usize, cfg: &SchedConfig) -> Schedule {
+    let n = tree.len();
+    let mut b = ScheduleBuilder::new("dist-bcast", n);
+    b.ensure_buf(tree.root, BufId::Send, bytes);
+    let parts = chunks(bytes, cfg.pipeline_chunk);
+
+    // arrival[rank][chunk] — None at the root (data available from t=0).
+    let mut arrival: Vec<Vec<Option<OpId>>> = vec![vec![None; parts.len()]; n];
+
+    for (parent, child) in tree.down_edges() {
+        for (ci, &(off, len)) in parts.iter().enumerate() {
+            let deps = arrival[parent][ci].map(|a| vec![a]).unwrap_or_default();
+            let ready = b.notify(parent, child, deps);
+            let pull = b.copy(
+                (parent, bcast_src(tree, parent), off),
+                (child, BufId::Recv, off),
+                len,
+                Mech::Knem,
+                child,
+                vec![ready],
+            );
+            arrival[child][ci] = Some(pull);
+        }
+    }
+    b.finish()
+}
+
+/// Distance-aware allgather over a ring (Algorithm 2's execution, §IV-C):
+/// each rank copies its own block in place, then performs `N-1` pull steps;
+/// at step `k` it pulls from its left neighbour the block that neighbour
+/// obtained at step `k-1`, notified out-of-band — an out-of-order pipeline.
+pub fn allgather_schedule(ring: &Ring, block_bytes: usize) -> Schedule {
+    let n = ring.len();
+    let mut b = ScheduleBuilder::new("dist-allgather", n);
+
+    // Step (1): local copy of the own block at offset rank * block.
+    let mut ready_notif: Vec<Option<OpId>> = vec![None; n];
+    let mut locals: Vec<OpId> = Vec::with_capacity(n);
+    for r in 0..n {
+        let local = b.copy(
+            (r, BufId::Send, 0),
+            (r, BufId::Recv, r * block_bytes),
+            block_bytes,
+            Mech::Memcpy,
+            r,
+            vec![],
+        );
+        locals.push(local);
+    }
+    for r in 0..n {
+        if n > 1 {
+            ready_notif[r] = Some(b.notify(r, ring.right(r), vec![locals[r]]));
+        }
+    }
+
+    // Steps (2)..(N): pull the travelling blocks.
+    for k in 1..n {
+        let mut next_notif: Vec<Option<OpId>> = vec![None; n];
+        for r in 0..n {
+            let left = ring.left(r);
+            let owner = ring.left_k(r, k);
+            let notif = ready_notif[left].expect("left neighbour notified");
+            let pull = b.copy(
+                (left, BufId::Recv, owner * block_bytes),
+                (r, BufId::Recv, owner * block_bytes),
+                block_bytes,
+                Mech::Knem,
+                r,
+                vec![notif],
+            );
+            if k + 1 < n {
+                next_notif[r] = Some(b.notify(r, ring.right(r), vec![pull]));
+            }
+        }
+        ready_notif = next_notif;
+    }
+    b.finish()
+}
+
+/// Distance-aware reduce over a tree: every rank seeds its accumulator with
+/// its own contribution, then each parent combines its children's finished
+/// subtree accumulators (KNEM pull + element-wise combine), deepest
+/// subtrees first. The root's `Recv` holds the full reduction.
+pub fn reduce_schedule(tree: &Tree, bytes: usize) -> Schedule {
+    reduce_schedule_with_op(tree, bytes, DataOp::Add)
+}
+
+/// [`reduce_schedule`] with an explicit combine operator (typed reductions
+/// for the MPI-facing session API).
+pub fn reduce_schedule_with_op(tree: &Tree, bytes: usize, op: DataOp) -> Schedule {
+    let n = tree.len();
+    let mut b = ScheduleBuilder::new("dist-reduce", n);
+
+    // Seed accumulators.
+    let mut done: Vec<OpId> = (0..n)
+        .map(|r| b.copy((r, BufId::Send, 0), (r, BufId::Recv, 0), bytes, Mech::Memcpy, r, vec![]))
+        .collect();
+
+    // Combine bottom-up: children before parents.
+    for &p in tree.bfs_order().iter().rev() {
+        for &c in &tree.children[p] {
+            let ready = b.notify(c, p, vec![done[c]]);
+            let combine = b.combine_with(
+                (c, BufId::Recv, 0),
+                (p, BufId::Recv, 0),
+                bytes,
+                Mech::Knem,
+                p,
+                op,
+                vec![ready, done[p]],
+            );
+            done[p] = combine;
+        }
+    }
+    b.finish()
+}
+
+/// Distance-aware allreduce: reduce to the root, then broadcast the result
+/// back down the same tree. Phase-2 pulls are ordered after the root's
+/// phase-1 completion through the notification chain.
+pub fn allreduce_schedule(tree: &Tree, bytes: usize, cfg: &SchedConfig) -> Schedule {
+    allreduce_schedule_with_op(tree, bytes, cfg, DataOp::Add)
+}
+
+/// [`allreduce_schedule`] with an explicit combine operator.
+pub fn allreduce_schedule_with_op(
+    tree: &Tree,
+    bytes: usize,
+    cfg: &SchedConfig,
+    op: DataOp,
+) -> Schedule {
+    let n = tree.len();
+    let mut b = ScheduleBuilder::new("dist-allreduce", n);
+
+    // Phase 1: reduce (inlined so both phases share one builder).
+    let mut done: Vec<OpId> = (0..n)
+        .map(|r| b.copy((r, BufId::Send, 0), (r, BufId::Recv, 0), bytes, Mech::Memcpy, r, vec![]))
+        .collect();
+    for &p in tree.bfs_order().iter().rev() {
+        for &c in &tree.children[p] {
+            let ready = b.notify(c, p, vec![done[c]]);
+            let combine = b.combine_with(
+                (c, BufId::Recv, 0),
+                (p, BufId::Recv, 0),
+                bytes,
+                Mech::Knem,
+                p,
+                op,
+                vec![ready, done[p]],
+            );
+            done[p] = combine;
+        }
+    }
+
+    // Phase 2: pipelined broadcast of the root's accumulator.
+    let parts = chunks(bytes, cfg.pipeline_chunk);
+    let mut arrival: Vec<Vec<Option<OpId>>> = vec![vec![None; parts.len()]; n];
+    for (parent, child) in tree.down_edges() {
+        for (ci, &(off, len)) in parts.iter().enumerate() {
+            // The first notification also carries the phase transition: the
+            // parent's subtree accumulation must be complete, and the child
+            // must have stopped contributing (guaranteed transitively: the
+            // root's completion depends on every combine).
+            let mut deps = vec![done[parent]];
+            if let Some(a) = arrival[parent][ci] {
+                deps.push(a);
+            }
+            let ready = b.notify(parent, child, deps);
+            let pull = b.copy(
+                (parent, BufId::Recv, off),
+                (child, BufId::Recv, off),
+                len,
+                Mech::Knem,
+                child,
+                vec![ready],
+            );
+            arrival[child][ci] = Some(pull);
+        }
+    }
+    b.finish()
+}
+
+/// Gather in the KNEM-collective one-sided style: every rank exposes its
+/// `Send` buffer; the root pulls block after block into `Recv` (its own
+/// block is a local copy).
+pub fn gather_schedule(root: usize, num_ranks: usize, block_bytes: usize) -> Schedule {
+    let mut b = ScheduleBuilder::new("dist-gather", num_ranks);
+    b.copy(
+        (root, BufId::Send, 0),
+        (root, BufId::Recv, root * block_bytes),
+        block_bytes,
+        Mech::Memcpy,
+        root,
+        vec![],
+    );
+    for r in 0..num_ranks {
+        if r == root {
+            continue;
+        }
+        let ready = b.notify(r, root, vec![]);
+        b.copy(
+            (r, BufId::Send, 0),
+            (root, BufId::Recv, r * block_bytes),
+            block_bytes,
+            Mech::Knem,
+            root,
+            vec![ready],
+        );
+    }
+    b.finish()
+}
+
+/// Scatter in the KNEM-collective one-sided style: the root exposes its
+/// `Send` buffer once; every rank pulls its own block concurrently —
+/// there is no serialization at the root beyond the notifications.
+pub fn scatter_schedule(root: usize, num_ranks: usize, block_bytes: usize) -> Schedule {
+    let mut b = ScheduleBuilder::new("dist-scatter", num_ranks);
+    b.copy(
+        (root, BufId::Send, root * block_bytes),
+        (root, BufId::Recv, 0),
+        block_bytes,
+        Mech::Memcpy,
+        root,
+        vec![],
+    );
+    for r in 0..num_ranks {
+        if r == root {
+            continue;
+        }
+        let ready = b.notify(root, r, vec![]);
+        b.copy(
+            (root, BufId::Send, r * block_bytes),
+            (r, BufId::Recv, 0),
+            block_bytes,
+            Mech::Knem,
+            r,
+            vec![ready],
+        );
+    }
+    b.finish()
+}
+
+/// Barrier over a tree: notifications flow up to the root, then back down.
+/// No payload moves; the schedule is pure control.
+pub fn barrier_schedule(tree: &Tree) -> Schedule {
+    let n = tree.len();
+    let mut b = ScheduleBuilder::new("dist-barrier", n);
+
+    // Up phase: a rank reports once all its children have reported.
+    let mut up: Vec<Option<OpId>> = vec![None; n];
+    for &p in tree.bfs_order().iter().rev() {
+        if p == tree.root {
+            continue;
+        }
+        let deps: Vec<OpId> =
+            tree.children[p].iter().map(|&c| up[c].expect("children first")).collect();
+        up[p] = Some(b.notify(p, tree.parent[p].expect("non-root"), deps));
+    }
+
+    // Down phase: release flows from the root.
+    let mut down: Vec<Option<OpId>> = vec![None; n];
+    for u in tree.bfs_order() {
+        for &c in &tree.children[u] {
+            let mut deps: Vec<OpId> = tree.children[u]
+                .iter()
+                .filter_map(|&gc| up[gc])
+                .collect();
+            if let Some(d) = down[u] {
+                deps.push(d);
+            }
+            down[c] = Some(b.notify(u, c, deps));
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allgather_ring::Ring;
+    use crate::bcast_tree::build_bcast_tree;
+    use pdac_hwtopo::{machines, BindingPolicy, DistanceMatrix};
+
+    fn ig_matrix(policy: BindingPolicy) -> DistanceMatrix {
+        let ig = machines::ig();
+        let b = policy.bind(&ig, 48).unwrap();
+        DistanceMatrix::for_binding(&ig, &b)
+    }
+
+    #[test]
+    fn bcast_schedule_validates_and_counts() {
+        let d = ig_matrix(BindingPolicy::Contiguous);
+        let t = build_bcast_tree(&d, 0);
+        let s = bcast_schedule(&t, 1 << 20, &SchedConfig::default());
+        s.validate().unwrap();
+        // 47 edges x 8 chunks of 128K: one pull + one notify each.
+        assert_eq!(s.num_copies(), 47 * 8);
+        assert_eq!(s.ops.len(), 47 * 8 * 2);
+        assert_eq!(s.buf_size(0, BufId::Send), 1 << 20);
+        assert_eq!(s.buf_size(1, BufId::Recv), 1 << 20);
+    }
+
+    #[test]
+    fn bcast_small_message_single_chunk() {
+        let d = ig_matrix(BindingPolicy::Contiguous);
+        let t = build_bcast_tree(&d, 0);
+        let s = bcast_schedule(&t, 512, &SchedConfig::default());
+        s.validate().unwrap();
+        assert_eq!(s.num_copies(), 47);
+    }
+
+    #[test]
+    fn allgather_schedule_validates_and_counts() {
+        let d = ig_matrix(BindingPolicy::CrossSocket);
+        let r = Ring::build(&d);
+        let s = allgather_schedule(&r, 4096);
+        s.validate().unwrap();
+        assert_eq!(s.num_copies(), 48 + 48 * 47, "locals + pulls");
+        assert_eq!(s.buf_size(0, BufId::Recv), 48 * 4096);
+    }
+
+    #[test]
+    fn allgather_two_ranks() {
+        let d = DistanceMatrix::from_raw(2, vec![0, 1, 1, 0]);
+        let r = Ring::build(&d);
+        let s = allgather_schedule(&r, 100);
+        s.validate().unwrap();
+        assert_eq!(s.num_copies(), 4);
+    }
+
+    #[test]
+    fn reduce_and_allreduce_validate() {
+        let d = ig_matrix(BindingPolicy::Random { seed: 1 });
+        let t = build_bcast_tree(&d, 5);
+        reduce_schedule(&t, 8192).validate().unwrap();
+        allreduce_schedule(&t, 1 << 20, &SchedConfig::default()).validate().unwrap();
+    }
+
+    #[test]
+    fn gather_scatter_validate() {
+        gather_schedule(3, 48, 4096).validate().unwrap();
+        scatter_schedule(3, 48, 4096).validate().unwrap();
+        // Root-only degenerate case.
+        gather_schedule(0, 1, 64).validate().unwrap();
+    }
+
+    #[test]
+    fn barrier_is_pure_control() {
+        let d = ig_matrix(BindingPolicy::Contiguous);
+        let t = build_bcast_tree(&d, 0);
+        let s = barrier_schedule(&t);
+        s.validate().unwrap();
+        assert_eq!(s.num_copies(), 0);
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.ops.len(), 2 * 47, "one up + one down notify per edge");
+    }
+
+    #[test]
+    fn chunk_splitting() {
+        assert_eq!(chunks(100, 0), vec![(0, 100)]);
+        assert_eq!(chunks(100, 200), vec![(0, 100)]);
+        assert_eq!(chunks(300, 100), vec![(0, 100), (100, 100), (200, 100)]);
+        assert_eq!(chunks(250, 100), vec![(0, 100), (100, 100), (200, 50)]);
+    }
+}

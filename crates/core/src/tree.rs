@@ -1,0 +1,200 @@
+//! Rooted communication trees.
+//!
+//! The output shape of every broadcast topology (distance-aware or
+//! baseline): a parent/children structure over ranks, with helpers the
+//! schedule generator, the metrics module and the tests share.
+
+use pdac_hwtopo::DistanceMatrix;
+
+use crate::edges::Edge;
+
+/// A rooted spanning tree over ranks `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tree {
+    /// The broadcast root.
+    pub root: usize,
+    /// Parent of each rank (`None` for the root).
+    pub parent: Vec<Option<usize>>,
+    /// Children of each rank, in attach order (the order the construction
+    /// accepted their edges — also the order a parent serves them).
+    pub children: Vec<Vec<usize>>,
+}
+
+impl Tree {
+    /// Builds a rooted tree from undirected edges by BFS from `root`.
+    /// Children attach in the order their edges appear in `edges`.
+    ///
+    /// # Panics
+    /// Panics if the edges do not form a spanning tree of `0..n`.
+    pub fn from_edges(n: usize, root: usize, edges: &[Edge]) -> Self {
+        assert_eq!(edges.len(), n.saturating_sub(1), "spanning tree needs n-1 edges");
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in edges {
+            adj[e.u].push(e.v);
+            adj[e.v].push(e.u);
+        }
+        let mut parent = vec![None; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::from([root]);
+        visited[root] = true;
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    parent[v] = Some(u);
+                    children[u].push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        assert!(visited.iter().all(|&v| v), "edges do not span all ranks");
+        Tree { root, parent, children }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True for the (unusable) empty tree.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Depth: edges on the longest root-to-leaf path.
+    pub fn depth(&self) -> usize {
+        (0..self.len()).map(|r| self.depth_of(r)).max().unwrap_or(0)
+    }
+
+    /// Edges from the root down to `rank`.
+    pub fn depth_of(&self, mut rank: usize) -> usize {
+        let mut d = 0;
+        while let Some(p) = self.parent[rank] {
+            rank = p;
+            d += 1;
+        }
+        d
+    }
+
+    /// Ranks in BFS order starting at the root (parents before children).
+    pub fn bfs_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.len());
+        let mut queue = std::collections::VecDeque::from([self.root]);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            queue.extend(&self.children[u]);
+        }
+        order
+    }
+
+    /// The tree's edges as `(parent, child)` pairs in BFS order.
+    pub fn down_edges(&self) -> Vec<(usize, usize)> {
+        self.bfs_order()
+            .into_iter()
+            .flat_map(|u| self.children[u].iter().map(move |&c| (u, c)))
+            .collect()
+    }
+
+    /// Sum of edge distances under `dist`.
+    pub fn total_weight(&self, dist: &DistanceMatrix) -> u64 {
+        self.down_edges().iter().map(|&(p, c)| u64::from(dist.get(p, c))).sum()
+    }
+
+    /// Number of tree edges whose distance equals `class`.
+    pub fn edges_at_distance(&self, dist: &DistanceMatrix, class: u8) -> usize {
+        self.down_edges().iter().filter(|&&(p, c)| dist.get(p, c) == class).count()
+    }
+
+    /// The root-to-`rank` path, root first.
+    pub fn path_from_root(&self, rank: usize) -> Vec<usize> {
+        let mut path = vec![rank];
+        let mut cur = rank;
+        while let Some(p) = self.parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Maximum number of children of any rank.
+    pub fn max_fanout(&self) -> usize {
+        self.children.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// ASCII rendering, one node per line, indented by depth.
+    pub fn render(&self) -> String {
+        fn rec(t: &Tree, u: usize, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!("P{u}\n"));
+            for &c in &t.children[u] {
+                rec(t, c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        rec(self, self.root, 0, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_edges(n: usize) -> Vec<Edge> {
+        (0..n - 1).map(|i| Edge { u: i, v: i + 1, w: 1 }).collect()
+    }
+
+    #[test]
+    fn chain_tree() {
+        let t = Tree::from_edges(4, 0, &chain_edges(4));
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.path_from_root(3), vec![0, 1, 2, 3]);
+        assert_eq!(t.bfs_order(), vec![0, 1, 2, 3]);
+        assert_eq!(t.max_fanout(), 1);
+    }
+
+    #[test]
+    fn star_tree_rooted_midway() {
+        let edges: Vec<Edge> = (1..5).map(|v| Edge { u: 0, v, w: 2 }).collect();
+        let t = Tree::from_edges(5, 0, &edges);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.children[0], vec![1, 2, 3, 4]);
+        assert_eq!(t.max_fanout(), 4);
+        // Re-rooting at a leaf doubles the depth through the hub.
+        let t2 = Tree::from_edges(5, 3, &edges);
+        assert_eq!(t2.depth(), 2);
+        assert_eq!(t2.parent[0], Some(3));
+        assert_eq!(t2.path_from_root(4), vec![3, 0, 4]);
+    }
+
+    #[test]
+    fn down_edges_in_bfs_order() {
+        let t = Tree::from_edges(4, 0, &chain_edges(4));
+        assert_eq!(t.down_edges(), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n-1 edges")]
+    fn too_few_edges_rejected() {
+        Tree::from_edges(4, 0, &chain_edges(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "do not span")]
+    fn disconnected_rejected() {
+        let edges = vec![
+            Edge { u: 0, v: 1, w: 1 },
+            Edge { u: 0, v: 1, w: 2 }, // duplicate, leaves 2..4 unreached
+            Edge { u: 2, v: 3, w: 1 },
+        ];
+        Tree::from_edges(4, 0, &edges);
+    }
+
+    #[test]
+    fn render_shows_structure() {
+        let t = Tree::from_edges(3, 0, &chain_edges(3));
+        assert_eq!(t.render(), "P0\n  P1\n    P2\n");
+    }
+}

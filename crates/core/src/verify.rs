@@ -1,0 +1,249 @@
+//! Semantic oracles: run a schedule through the real-thread executor and
+//! check the collective's postcondition on actual bytes.
+//!
+//! Every rank's `Send` buffer is filled with a distinctive pattern; after
+//! execution the oracle checks that each `Recv` buffer holds exactly what
+//! the collective semantics dictate. Any topology bug — a missing edge, a
+//! wrong pull offset, a mis-ordered pipeline — shows up as a byte mismatch.
+
+use pdac_mpisim::{ExecError, ExecResult, ThreadExecutor};
+use pdac_simnet::{BufId, Rank, Schedule};
+
+/// The deterministic per-rank fill pattern used by all oracles.
+pub fn pattern(rank: Rank, size: usize) -> Vec<u8> {
+    (0..size).map(|i| (rank as u8).wrapping_mul(131).wrapping_add((i as u8).wrapping_mul(7))).collect()
+}
+
+/// Oracle failures.
+#[derive(Debug)]
+pub enum VerifyError {
+    /// The executor failed before semantics could be checked.
+    Exec(ExecError),
+    /// A rank's buffer does not match the expected contents.
+    Mismatch {
+        /// Offending rank.
+        rank: Rank,
+        /// First differing byte offset.
+        offset: usize,
+        /// Expected byte.
+        expected: u8,
+        /// Observed byte.
+        got: u8,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Exec(e) => write!(f, "execution failed: {e}"),
+            VerifyError::Mismatch { rank, offset, expected, got } => write!(
+                f,
+                "rank {rank}: byte {offset} is {got:#04x}, expected {expected:#04x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<ExecError> for VerifyError {
+    fn from(e: ExecError) -> Self {
+        VerifyError::Exec(e)
+    }
+}
+
+fn expect_buffer(res: &ExecResult, rank: Rank, expected: &[u8]) -> Result<(), VerifyError> {
+    let got = res.buffer(rank, BufId::Recv);
+    for (offset, (&e, &g)) in expected.iter().zip(got).enumerate() {
+        if e != g {
+            return Err(VerifyError::Mismatch { rank, offset, expected: e, got: g });
+        }
+    }
+    if got.len() < expected.len() {
+        return Err(VerifyError::Mismatch {
+            rank,
+            offset: got.len(),
+            expected: expected[got.len()],
+            got: 0,
+        });
+    }
+    Ok(())
+}
+
+fn execute(schedule: &Schedule) -> Result<ExecResult, VerifyError> {
+    Ok(ThreadExecutor::new().run(schedule, pattern)?)
+}
+
+/// Broadcast: every non-root rank's `Recv` equals the root's `Send`.
+pub fn verify_bcast(schedule: &Schedule, root: Rank, bytes: usize) -> Result<(), VerifyError> {
+    let res = execute(schedule)?;
+    let expected = pattern(root, bytes);
+    for r in 0..schedule.num_ranks {
+        if r != root {
+            expect_buffer(&res, r, &expected)?;
+        }
+    }
+    Ok(())
+}
+
+/// Allgather: every rank's `Recv` holds block `i` = rank `i`'s pattern.
+pub fn verify_allgather(schedule: &Schedule, block_bytes: usize) -> Result<(), VerifyError> {
+    let res = execute(schedule)?;
+    let mut expected = Vec::with_capacity(schedule.num_ranks * block_bytes);
+    for r in 0..schedule.num_ranks {
+        expected.extend_from_slice(&pattern(r, block_bytes));
+    }
+    for r in 0..schedule.num_ranks {
+        expect_buffer(&res, r, &expected)?;
+    }
+    Ok(())
+}
+
+/// Reduce: the root's `Recv` equals the byte-wise wrapping sum of every
+/// rank's pattern.
+pub fn verify_reduce(schedule: &Schedule, root: Rank, bytes: usize) -> Result<(), VerifyError> {
+    let res = execute(schedule)?;
+    expect_buffer(&res, root, &reduced_pattern(schedule.num_ranks, bytes))
+}
+
+/// Allreduce: every rank's `Recv` equals the byte-wise wrapping sum.
+pub fn verify_allreduce(schedule: &Schedule, bytes: usize) -> Result<(), VerifyError> {
+    let res = execute(schedule)?;
+    let expected = reduced_pattern(schedule.num_ranks, bytes);
+    for r in 0..schedule.num_ranks {
+        expect_buffer(&res, r, &expected)?;
+    }
+    Ok(())
+}
+
+/// Gather: the root's `Recv` holds block `i` = rank `i`'s pattern.
+pub fn verify_gather(schedule: &Schedule, root: Rank, block_bytes: usize) -> Result<(), VerifyError> {
+    let res = execute(schedule)?;
+    let mut expected = Vec::with_capacity(schedule.num_ranks * block_bytes);
+    for r in 0..schedule.num_ranks {
+        expected.extend_from_slice(&pattern(r, block_bytes));
+    }
+    expect_buffer(&res, root, &expected)
+}
+
+/// Scatter: rank `i`'s `Recv` equals block `i` of the root's `Send`.
+pub fn verify_scatter(schedule: &Schedule, root: Rank, block_bytes: usize) -> Result<(), VerifyError> {
+    let res = execute(schedule)?;
+    let root_pattern = pattern(root, schedule.num_ranks * block_bytes);
+    for r in 0..schedule.num_ranks {
+        expect_buffer(&res, r, &root_pattern[r * block_bytes..(r + 1) * block_bytes])?;
+    }
+    Ok(())
+}
+
+/// The expected reduction result: byte-wise wrapping sum of all patterns.
+pub fn reduced_pattern(num_ranks: usize, bytes: usize) -> Vec<u8> {
+    let mut acc = vec![0u8; bytes];
+    for r in 0..num_ranks {
+        for (a, b) in acc.iter_mut().zip(pattern(r, bytes)) {
+            *a = a.wrapping_add(b);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allgather_ring::Ring;
+    use crate::bcast_tree::build_bcast_tree;
+    use crate::sched::{
+        allgather_schedule, allreduce_schedule, bcast_schedule, gather_schedule, reduce_schedule,
+        scatter_schedule, SchedConfig,
+    };
+    use pdac_hwtopo::{machines, BindingPolicy, DistanceMatrix};
+
+    fn matrix(policy: BindingPolicy, n: usize) -> DistanceMatrix {
+        let ig = machines::ig();
+        let b = policy.bind(&ig, n).unwrap();
+        DistanceMatrix::for_binding(&ig, &b)
+    }
+
+    #[test]
+    fn distance_aware_bcast_is_correct_under_every_binding() {
+        for policy in [
+            BindingPolicy::Contiguous,
+            BindingPolicy::CrossSocket,
+            BindingPolicy::Random { seed: 99 },
+        ] {
+            let d = matrix(policy, 48);
+            for root in [0, 31] {
+                let t = build_bcast_tree(&d, root);
+                let s = bcast_schedule(&t, 300_000, &SchedConfig::default());
+                verify_bcast(&s, root, 300_000).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn distance_aware_allgather_is_correct_under_every_binding() {
+        for policy in [
+            BindingPolicy::Contiguous,
+            BindingPolicy::CrossSocket,
+            BindingPolicy::Random { seed: 7 },
+        ] {
+            let d = matrix(policy, 48);
+            let r = Ring::build(&d);
+            let s = allgather_schedule(&r, 5000);
+            verify_allgather(&s, 5000).unwrap();
+        }
+    }
+
+    #[test]
+    fn reduce_and_allreduce_are_correct() {
+        let d = matrix(BindingPolicy::Random { seed: 13 }, 24);
+        let t = build_bcast_tree(&d, 7);
+        verify_reduce(&reduce_schedule(&t, 10_000), 7, 10_000).unwrap();
+        verify_allreduce(&allreduce_schedule(&t, 10_000, &SchedConfig::default()), 10_000).unwrap();
+    }
+
+    #[test]
+    fn gather_and_scatter_are_correct() {
+        verify_gather(&gather_schedule(5, 16, 2048), 5, 2048).unwrap();
+        verify_scatter(&scatter_schedule(5, 16, 2048), 5, 2048).unwrap();
+    }
+
+    #[test]
+    fn oracle_catches_wrong_offsets() {
+        // Deliberately corrupt an allgather: swap two pull destinations.
+        let d = matrix(BindingPolicy::Contiguous, 4);
+        let ring = Ring::build(&d);
+        let mut s = allgather_schedule(&ring, 64);
+        // Find two copy ops and swap their destination offsets.
+        let mut copy_ids: Vec<usize> = s
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o.kind, pdac_simnet::OpKind::Copy { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let b_id = copy_ids.pop().unwrap();
+        let a_id = copy_ids.pop().unwrap();
+        let get_dst = |s: &pdac_simnet::Schedule, id: usize| match s.ops[id].kind {
+            pdac_simnet::OpKind::Copy { dst_off, .. } => dst_off,
+            _ => unreachable!(),
+        };
+        let (da, db) = (get_dst(&s, a_id), get_dst(&s, b_id));
+        for (id, off) in [(a_id, db), (b_id, da)] {
+            if let pdac_simnet::OpKind::Copy { ref mut dst_off, .. } = s.ops[id].kind {
+                *dst_off = off;
+            }
+        }
+        // Either validation (write overlap) or the byte oracle must fail.
+        assert!(verify_allgather(&s, 64).is_err());
+    }
+
+    #[test]
+    fn reduced_pattern_is_order_independent_sum() {
+        let p = reduced_pattern(3, 4);
+        for i in 0..4 {
+            let expect = pattern(0, 4)[i].wrapping_add(pattern(1, 4)[i]).wrapping_add(pattern(2, 4)[i]);
+            assert_eq!(p[i], expect);
+        }
+    }
+}

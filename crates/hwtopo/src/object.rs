@@ -1,0 +1,330 @@
+//! Topology tree objects and the flattened per-core view.
+//!
+//! The tree mirrors hwloc's object model: a [`Machine`] owns a flat arena of
+//! [`Obj`] nodes linked by parent/child indices. Alongside the tree, the
+//! machine keeps a [`CoreView`] per core — the pre-resolved ancestry
+//! (board / NUMA node / socket / die / caches) that the distance function and
+//! the simulator query on hot paths, so no tree walking is needed there.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of an object inside a machine's arena.
+pub type ObjIdx = usize;
+
+/// Global core identity: the index of a core in topology (depth-first) order.
+pub type CoreId = usize;
+
+/// The kinds of objects a topology tree can contain, from the outermost in.
+///
+/// `Cache(l)` carries the cache level (1–3). hwloc's `PU` (hardware thread)
+/// level is modelled but the paper binds one process per core, so PUs map
+/// one-to-one to cores on every predefined machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjKind {
+    /// The whole machine (root; exactly one). For flattened clusters (see
+    /// [`crate::cluster`]) this is the cluster root.
+    Machine,
+    /// One compute node of a flattened cluster (absent on single-node
+    /// machines).
+    Node,
+    /// A physical board; boards are interconnected by the slowest links.
+    Board,
+    /// A NUMA node: one memory controller and its local memory.
+    NumaNode,
+    /// A physical socket (package).
+    Socket,
+    /// A die within a socket.
+    Die,
+    /// A cache of the given level shared by the cores below it.
+    Cache(u8),
+    /// A physical core.
+    Core,
+    /// A processing unit (hardware thread).
+    Pu,
+}
+
+impl ObjKind {
+    /// Short label used by the ASCII renderer.
+    pub fn label(self) -> String {
+        match self {
+            ObjKind::Machine => "Machine".to_string(),
+            ObjKind::Node => "Node".to_string(),
+            ObjKind::Board => "Board".to_string(),
+            ObjKind::NumaNode => "NUMANode".to_string(),
+            ObjKind::Socket => "Socket".to_string(),
+            ObjKind::Die => "Die".to_string(),
+            ObjKind::Cache(l) => format!("L{l}"),
+            ObjKind::Core => "Core".to_string(),
+            ObjKind::Pu => "PU".to_string(),
+        }
+    }
+}
+
+/// One node of the topology tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Obj {
+    /// What this node is.
+    pub kind: ObjKind,
+    /// Index of this kind (e.g. the 3rd socket machine-wide has `logical_id
+    /// == 2`), assigned in depth-first order.
+    pub logical_id: usize,
+    /// Arena index of the parent (`None` for the machine root).
+    pub parent: Option<ObjIdx>,
+    /// Arena indices of the children, in topology order.
+    pub children: Vec<ObjIdx>,
+    /// Local memory in bytes for NUMA nodes, cache size in bytes for caches,
+    /// total memory for the machine root; 0 elsewhere.
+    pub size_bytes: u64,
+}
+
+/// Pre-resolved ancestry of one core: everything the distance function and
+/// the route computation need, without walking the tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreView {
+    /// This core's id (its index in topology order).
+    pub core: CoreId,
+    /// Arena index of the `Core` object.
+    pub obj: ObjIdx,
+    /// Logical id of the enclosing board.
+    pub board: usize,
+    /// Logical id of the enclosing NUMA node (memory controller domain).
+    pub numa: usize,
+    /// Logical id of the enclosing socket.
+    pub socket: usize,
+    /// Logical id of the enclosing die, when dies are modelled; sockets with
+    /// a single implicit die report `None`.
+    pub die: Option<usize>,
+    /// `(level, cache logical id)` for every cache above this core,
+    /// innermost first.
+    pub caches: Vec<(u8, usize)>,
+    /// Compute node of a flattened cluster (0 on single-node machines).
+    #[serde(default)]
+    pub node: usize,
+    /// Network switch the core's node hangs off (0 on single-node machines).
+    #[serde(default)]
+    pub switch: usize,
+}
+
+impl CoreView {
+    /// Whether the two cores share at least one cache of any level —
+    /// condition (1) of the paper's distance definition.
+    pub fn shares_cache_with(&self, other: &CoreView) -> bool {
+        self.caches
+            .iter()
+            .any(|c| other.caches.contains(c))
+    }
+
+    /// The innermost cache shared with `other`, if any: `(level, id)`.
+    pub fn innermost_shared_cache(&self, other: &CoreView) -> Option<(u8, usize)> {
+        self.caches
+            .iter()
+            .find(|c| other.caches.contains(c))
+            .copied()
+    }
+}
+
+/// A fully built machine: the topology tree plus flattened lookup tables.
+///
+/// Construct via [`crate::MachineSpec::build`] or one of the predefined
+/// machines in [`crate::machines`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Machine {
+    /// Human-readable machine name (e.g. `"zoot"`, `"ig"`).
+    pub name: String,
+    /// Object arena; index 0 is the `Machine` root.
+    pub objs: Vec<Obj>,
+    /// Per-core resolved ancestry, indexed by [`CoreId`].
+    pub cores: Vec<CoreView>,
+    /// OS processor numbering: `os_index[os_id] == core`. Captures machines
+    /// (like Zoot) whose OS enumerates cores round-robin across sockets, so
+    /// that "round-robin over OS ids" and "topology order" bindings differ.
+    pub os_index: Vec<CoreId>,
+    /// Number of boards.
+    pub num_boards: usize,
+    /// Number of NUMA nodes (memory controllers).
+    pub num_numa: usize,
+    /// Number of sockets.
+    pub num_sockets: usize,
+    /// Number of compute nodes (1 unless this is a flattened cluster).
+    #[serde(default = "default_one")]
+    pub num_nodes: usize,
+    /// Number of network switches (1 unless this is a flattened cluster).
+    #[serde(default = "default_one")]
+    pub num_switches: usize,
+}
+
+fn default_one() -> usize {
+    1
+}
+
+impl Machine {
+    /// Number of cores on the machine.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The resolved ancestry for `core`.
+    ///
+    /// # Panics
+    /// Panics if `core` is out of range.
+    pub fn core(&self, core: CoreId) -> &CoreView {
+        &self.cores[core]
+    }
+
+    /// Core holding OS processor id `os_id` (hwloc's `PU P#os_id`).
+    pub fn core_of_os_id(&self, os_id: usize) -> CoreId {
+        self.os_index[os_id]
+    }
+
+    /// Cores belonging to the NUMA node with logical id `numa`, in topology
+    /// order.
+    pub fn cores_of_numa(&self, numa: usize) -> Vec<CoreId> {
+        self.cores
+            .iter()
+            .filter(|c| c.numa == numa)
+            .map(|c| c.core)
+            .collect()
+    }
+
+    /// Cores belonging to socket `socket`, in topology order.
+    pub fn cores_of_socket(&self, socket: usize) -> Vec<CoreId> {
+        self.cores
+            .iter()
+            .filter(|c| c.socket == socket)
+            .map(|c| c.core)
+            .collect()
+    }
+
+    /// Number of cores per socket if uniform, `None` if sockets differ.
+    pub fn uniform_cores_per_socket(&self) -> Option<usize> {
+        let mut counts = vec![0usize; self.num_sockets];
+        for c in &self.cores {
+            counts[c.socket] += 1;
+        }
+        let first = *counts.first()?;
+        counts.iter().all(|&c| c == first).then_some(first)
+    }
+
+    /// Capacity of the largest cache above `core` (its outermost level).
+    pub fn largest_cache_size(&self, core: CoreId) -> Option<u64> {
+        self.cores[core]
+            .caches
+            .iter()
+            .map(|&(level, id)| {
+                self.objs
+                    .iter()
+                    .find(|o| o.kind == ObjKind::Cache(level) && o.logical_id == id)
+                    .map(|o| o.size_bytes)
+                    .unwrap_or(0)
+            })
+            .max()
+            .filter(|&s| s > 0)
+    }
+
+    /// Size in bytes of the innermost cache shared by `a` and `b`, if any.
+    pub fn shared_cache_size(&self, a: CoreId, b: CoreId) -> Option<u64> {
+        let (level, id) = self.cores[a].innermost_shared_cache(&self.cores[b])?;
+        self.objs
+            .iter()
+            .find(|o| o.kind == ObjKind::Cache(level) && o.logical_id == id)
+            .map(|o| o.size_bytes)
+    }
+
+    /// Walks the subtree rooted at `idx` depth-first, calling `f` with
+    /// `(depth, obj)`.
+    pub fn walk<F: FnMut(usize, &Obj)>(&self, idx: ObjIdx, f: &mut F) {
+        fn rec<F: FnMut(usize, &Obj)>(m: &Machine, idx: ObjIdx, depth: usize, f: &mut F) {
+            f(depth, &m.objs[idx]);
+            for &c in &m.objs[idx].children {
+                rec(m, c, depth + 1, f);
+            }
+        }
+        rec(self, idx, 0, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    #[test]
+    fn ig_shape() {
+        let ig = machines::ig();
+        assert_eq!(ig.num_cores(), 48);
+        assert_eq!(ig.num_boards, 2);
+        assert_eq!(ig.num_numa, 8);
+        assert_eq!(ig.num_sockets, 8);
+        assert_eq!(ig.uniform_cores_per_socket(), Some(6));
+    }
+
+    #[test]
+    fn ig_core_ancestry_matches_figure3() {
+        let ig = machines::ig();
+        // Figure 3: socket s holds cores 6s..6s+5; board 0 holds sockets 0-3.
+        let c0 = ig.core(0);
+        assert_eq!((c0.board, c0.numa, c0.socket), (0, 0, 0));
+        let c12 = ig.core(12);
+        assert_eq!((c12.board, c12.numa, c12.socket), (0, 2, 2));
+        let c24 = ig.core(24);
+        assert_eq!((c24.board, c24.numa, c24.socket), (1, 4, 4));
+        let c47 = ig.core(47);
+        assert_eq!((c47.board, c47.numa, c47.socket), (1, 7, 7));
+    }
+
+    #[test]
+    fn ig_l3_shared_within_socket_only() {
+        let ig = machines::ig();
+        assert!(ig.core(0).shares_cache_with(ig.core(5)));
+        assert!(!ig.core(0).shares_cache_with(ig.core(6)));
+        assert_eq!(ig.shared_cache_size(0, 5), Some(5 * 1024 * 1024 - 2 * 1024));
+    }
+
+    #[test]
+    fn zoot_shape_and_caches() {
+        let z = machines::zoot();
+        assert_eq!(z.num_cores(), 16);
+        assert_eq!(z.num_numa, 1, "Zoot has a single FSB memory controller");
+        assert_eq!(z.num_sockets, 4);
+        // L2 shared between pairs of cores on the same die.
+        assert!(z.core(0).shares_cache_with(z.core(1)));
+        assert!(!z.core(1).shares_cache_with(z.core(2)));
+        assert_eq!(z.shared_cache_size(0, 1), Some(4 * 1024 * 1024));
+    }
+
+    #[test]
+    fn zoot_os_order_interleaves_sockets() {
+        let z = machines::zoot();
+        // Consecutive OS ids land on different sockets (paper §III).
+        for os in 0..15 {
+            let a = z.core(z.core_of_os_id(os)).socket;
+            let b = z.core(z.core_of_os_id(os + 1)).socket;
+            assert_ne!(a, b, "OS ids {os},{} on same socket", os + 1);
+        }
+    }
+
+    #[test]
+    fn cores_of_numa_partition() {
+        let ig = machines::ig();
+        let mut all: Vec<CoreId> = (0..ig.num_numa).flat_map(|n| ig.cores_of_numa(n)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..48).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn walk_visits_every_object_once() {
+        let ig = machines::ig();
+        let mut seen = 0usize;
+        ig.walk(0, &mut |_, _| seen += 1);
+        assert_eq!(seen, ig.objs.len());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ig = machines::ig();
+        let json = serde_json::to_string(&ig).unwrap();
+        let back: Machine = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_cores(), ig.num_cores());
+        assert_eq!(back.cores, ig.cores);
+    }
+}

@@ -1,0 +1,116 @@
+//! lstopo-like ASCII rendering of machines and bindings.
+
+use crate::binding::Binding;
+use crate::object::{Machine, ObjKind};
+
+fn human_size(bytes: u64) -> String {
+    const KB: u64 = 1024;
+    const MB: u64 = 1024 * KB;
+    const GB: u64 = 1024 * MB;
+    if bytes == 0 {
+        String::new()
+    } else if bytes.is_multiple_of(GB) {
+        format!(" ({}GB)", bytes / GB)
+    } else if bytes.is_multiple_of(MB) {
+        format!(" ({}MB)", bytes / MB)
+    } else if bytes.is_multiple_of(KB) {
+        format!(" ({}KB)", bytes / KB)
+    } else {
+        format!(" ({}B)", bytes)
+    }
+}
+
+/// Renders the topology tree as an indented outline, one object per line:
+///
+/// ```text
+/// Machine #0 (128GB)
+///   Board #0
+///     NUMANode #0 (16GB)
+///       Socket #0
+///         L3 #0 (5118KB)
+///           Core #0
+/// ...
+/// ```
+pub fn render_machine(machine: &Machine) -> String {
+    let mut out = String::new();
+    machine.walk(0, &mut |depth, obj| {
+        // PUs mirror cores one-to-one on all modelled machines; skip them to
+        // keep the output close to the paper's trimmed Figure 3.
+        if obj.kind == ObjKind::Pu {
+            return;
+        }
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&format!(
+            "{} #{}{}\n",
+            obj.kind.label(),
+            obj.logical_id,
+            human_size(obj.size_bytes)
+        ));
+    });
+    out
+}
+
+/// Renders a binding as a per-socket table of `core <- rank` assignments.
+pub fn render_binding(machine: &Machine, binding: &Binding) -> String {
+    let mut out = String::new();
+    for s in 0..machine.num_sockets {
+        let cores = machine.cores_of_socket(s);
+        let numa = machine.core(cores[0]).numa;
+        let board = machine.core(cores[0]).board;
+        out.push_str(&format!("Socket #{s} (board {board}, NUMA {numa}):"));
+        for c in cores {
+            match binding.rank_on_core(c) {
+                Some(r) => out.push_str(&format!("  core{c}<-P{r}")),
+                None => out.push_str(&format!("  core{c}<-  ")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::BindingPolicy;
+    use crate::machines;
+
+    #[test]
+    fn render_ig_mentions_all_levels() {
+        let ig = machines::ig();
+        let s = render_machine(&ig);
+        assert!(s.contains("Machine #0 (128GB)"));
+        assert!(s.contains("Board #1"));
+        assert!(s.contains("NUMANode #7 (16GB)"));
+        assert!(s.contains("L3 #0 (5118KB)"));
+        assert!(s.contains("Core #47"));
+        assert!(!s.contains("PU"));
+    }
+
+    #[test]
+    fn render_binding_shows_ranks() {
+        let ig = machines::ig();
+        let b = BindingPolicy::CrossSocket.bind(&ig, 48).unwrap();
+        let s = render_binding(&ig, &b);
+        assert!(s.contains("core0<-P0"));
+        assert!(s.contains("core6<-P1"));
+        assert!(s.lines().count() == 8);
+    }
+
+    #[test]
+    fn render_partial_binding_leaves_blanks() {
+        let z = machines::zoot();
+        let b = BindingPolicy::Contiguous.bind(&z, 2).unwrap();
+        let s = render_binding(&z, &b);
+        assert!(s.contains("core0<-P0"));
+        assert!(s.contains("core15<-  "));
+    }
+
+    #[test]
+    fn human_sizes() {
+        assert_eq!(human_size(0), "");
+        assert_eq!(human_size(5118 * 1024), " (5118KB)");
+        assert_eq!(human_size(4 * 1024 * 1024), " (4MB)");
+        assert_eq!(human_size(3), " (3B)");
+    }
+}

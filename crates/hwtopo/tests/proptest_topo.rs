@@ -1,0 +1,146 @@
+//! Property-based invariants of the topology model, distance function and
+//! binding policies, over randomly generated machines.
+
+use proptest::prelude::*;
+
+use pdac_hwtopo::{
+    core_distance, machines, Binding, BindingPolicy, DistanceMatrix, Machine, DIST_MAX,
+};
+
+/// Random hierarchical machines via the synthetic generator.
+fn arb_machine() -> impl Strategy<Value = Machine> {
+    (1usize..=3, 1usize..=3, 1usize..=4, any::<bool>())
+        .prop_map(|(boards, numa, cores, l3)| machines::synthetic(boards, numa, cores, l3))
+}
+
+fn arb_policy() -> impl Strategy<Value = BindingPolicy> {
+    prop_oneof![
+        Just(BindingPolicy::Contiguous),
+        Just(BindingPolicy::RoundRobinOs),
+        Just(BindingPolicy::CrossSocket),
+        any::<u64>().prop_map(|seed| BindingPolicy::Random { seed }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn distance_is_a_semimetric(machine in arb_machine()) {
+        let n = machine.num_cores();
+        for a in 0..n {
+            prop_assert_eq!(core_distance(&machine, a, a), 0);
+            for b in 0..n {
+                let d = core_distance(&machine, a, b);
+                prop_assert_eq!(d, core_distance(&machine, b, a), "symmetry");
+                if a != b {
+                    prop_assert!((1..=DIST_MAX).contains(&d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_respects_hierarchy_levels(machine in arb_machine()) {
+        let n = machine.num_cores();
+        for a in 0..n {
+            for b in 0..n {
+                if a == b { continue; }
+                let (ca, cb) = (machine.core(a), machine.core(b));
+                let d = core_distance(&machine, a, b);
+                if ca.board != cb.board {
+                    prop_assert_eq!(d, 6);
+                } else if ca.numa != cb.numa {
+                    prop_assert!(d >= 4, "cross-controller distances are at least 4");
+                } else {
+                    prop_assert!(d <= 3, "same controller and board stays below 4");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bindings_are_injective_and_complete(
+        machine in arb_machine(),
+        policy in arb_policy(),
+        frac in 1usize..=100,
+    ) {
+        let n = 1 + (machine.num_cores() - 1) * frac / 100;
+        let binding = policy.bind(&machine, n).unwrap();
+        prop_assert_eq!(binding.num_ranks(), n);
+        let mut cores: Vec<_> = binding.as_slice().to_vec();
+        cores.sort_unstable();
+        cores.dedup();
+        prop_assert_eq!(cores.len(), n, "no core bound twice");
+        prop_assert!(cores.iter().all(|&c| c < machine.num_cores()));
+    }
+
+    #[test]
+    fn matrix_matches_pointwise_distance(
+        machine in arb_machine(),
+        seed in any::<u64>(),
+    ) {
+        let n = machine.num_cores();
+        let binding = BindingPolicy::Random { seed }.bind(&machine, n).unwrap();
+        let dm = DistanceMatrix::for_binding(&machine, &binding);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(
+                    dm.get(i, j),
+                    core_distance(&machine, binding.core_of(i), binding.core_of(j))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_partition_and_nest(machine in arb_machine(), seed in any::<u64>()) {
+        let n = machine.num_cores();
+        let binding = BindingPolicy::Random { seed }.bind(&machine, n).unwrap();
+        let dm = DistanceMatrix::for_binding(&machine, &binding);
+        let mut prev_count = usize::MAX;
+        for threshold in 1..=DIST_MAX {
+            let clusters = dm.clusters_at(threshold);
+            // Partition: every rank exactly once.
+            let mut all: Vec<usize> = clusters.iter().flatten().copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+            // Nesting: raising the threshold only merges clusters.
+            prop_assert!(clusters.len() <= prev_count);
+            prev_count = clusters.len();
+        }
+        prop_assert_eq!(dm.clusters_at(DIST_MAX).len(), 1, "everything connects at 6");
+    }
+
+    #[test]
+    fn machine_serde_roundtrip(machine in arb_machine()) {
+        let json = serde_json::to_string(&machine).unwrap();
+        let back: Machine = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.cores, machine.cores);
+        prop_assert_eq!(back.os_index, machine.os_index);
+    }
+
+    #[test]
+    fn subset_preserves_core_identity(
+        machine in arb_machine(),
+        seed in any::<u64>(),
+    ) {
+        let n = machine.num_cores();
+        let binding = BindingPolicy::Random { seed }.bind(&machine, n).unwrap();
+        // Take every other rank.
+        let ranks: Vec<usize> = (0..n).step_by(2).collect();
+        let sub = binding.subset(&ranks);
+        for (i, &r) in ranks.iter().enumerate() {
+            prop_assert_eq!(sub.core_of(i), binding.core_of(r));
+        }
+    }
+}
+
+#[test]
+fn identity_binding_is_contiguous() {
+    for machine in machines::all_predefined() {
+        let n = machine.num_cores();
+        assert_eq!(
+            Binding::identity(&machine),
+            BindingPolicy::Contiguous.bind(&machine, n).unwrap()
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! MPI-style derived datatypes: describing non-contiguous application
+//! memory so it can ride contiguous collectives.
+//!
+//! A [`Datatype`] names a set of byte ranges within a buffer. `pack` copies
+//! them into a dense staging vector (what an MPI implementation does before
+//! a non-contiguous send); `unpack` scatters a dense vector back. The
+//! supported constructors mirror `MPI_Type_contiguous`, `MPI_Type_vector`
+//! and `MPI_Type_indexed`.
+
+/// A derived datatype over a byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Datatype {
+    /// `count` contiguous bytes.
+    Contiguous {
+        /// Bytes covered.
+        count: usize,
+    },
+    /// `count` blocks of `blocklen` bytes, each `stride` bytes apart
+    /// (`stride >= blocklen`): a matrix column, a strided halo.
+    Vector {
+        /// Number of blocks.
+        count: usize,
+        /// Bytes per block.
+        blocklen: usize,
+        /// Distance between block starts, in bytes.
+        stride: usize,
+    },
+    /// Explicit `(offset, len)` blocks in increasing, non-overlapping
+    /// offset order.
+    Indexed {
+        /// `(byte offset, byte length)` per block.
+        blocks: Vec<(usize, usize)>,
+    },
+}
+
+impl Datatype {
+    /// Packed size: total bytes the type selects.
+    pub fn size(&self) -> usize {
+        match self {
+            Datatype::Contiguous { count } => *count,
+            Datatype::Vector { count, blocklen, .. } => count * blocklen,
+            Datatype::Indexed { blocks } => blocks.iter().map(|&(_, l)| l).sum(),
+        }
+    }
+
+    /// Extent: the span of buffer the type touches (offset one past the
+    /// last selected byte).
+    pub fn extent(&self) -> usize {
+        match self {
+            Datatype::Contiguous { count } => *count,
+            Datatype::Vector { count, blocklen, stride } => {
+                if *count == 0 {
+                    0
+                } else {
+                    (count - 1) * stride + blocklen
+                }
+            }
+            Datatype::Indexed { blocks } => {
+                blocks.iter().map(|&(o, l)| o + l).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Checks structural validity (vector stride covers the block; indexed
+    /// blocks sorted and disjoint).
+    pub fn is_valid(&self) -> bool {
+        match self {
+            Datatype::Contiguous { .. } => true,
+            Datatype::Vector { blocklen, stride, .. } => stride >= blocklen,
+            Datatype::Indexed { blocks } => {
+                blocks.windows(2).all(|w| w[0].0 + w[0].1 <= w[1].0)
+            }
+        }
+    }
+
+    /// The selected `(offset, len)` ranges in offset order.
+    pub fn ranges(&self) -> Vec<(usize, usize)> {
+        match self {
+            Datatype::Contiguous { count } => {
+                if *count == 0 {
+                    vec![]
+                } else {
+                    vec![(0, *count)]
+                }
+            }
+            Datatype::Vector { count, blocklen, stride } => {
+                (0..*count).map(|i| (i * stride, *blocklen)).collect()
+            }
+            Datatype::Indexed { blocks } => blocks.clone(),
+        }
+    }
+
+    /// Gathers the selected bytes of `buf` into a dense vector.
+    ///
+    /// # Panics
+    /// Panics if the type is invalid or `buf` is shorter than the extent.
+    pub fn pack(&self, buf: &[u8]) -> Vec<u8> {
+        assert!(self.is_valid(), "invalid datatype");
+        assert!(buf.len() >= self.extent(), "buffer shorter than the extent");
+        let mut out = Vec::with_capacity(self.size());
+        for (off, len) in self.ranges() {
+            out.extend_from_slice(&buf[off..off + len]);
+        }
+        out
+    }
+
+    /// Scatters a dense vector back into the selected bytes of `buf`.
+    ///
+    /// # Panics
+    /// Panics if the type is invalid, `buf` is shorter than the extent, or
+    /// `packed` is not exactly [`Self::size`] bytes.
+    pub fn unpack(&self, packed: &[u8], buf: &mut [u8]) {
+        assert!(self.is_valid(), "invalid datatype");
+        assert!(buf.len() >= self.extent(), "buffer shorter than the extent");
+        assert_eq!(packed.len(), self.size(), "packed length mismatch");
+        let mut pos = 0;
+        for (off, len) in self.ranges() {
+            buf[off..off + len].copy_from_slice(&packed[pos..pos + len]);
+            pos += len;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_is_identity() {
+        let dt = Datatype::Contiguous { count: 4 };
+        assert_eq!(dt.size(), 4);
+        assert_eq!(dt.extent(), 4);
+        let buf = [1, 2, 3, 4, 5];
+        assert_eq!(dt.pack(&buf), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn vector_selects_a_matrix_column() {
+        // A 4x3 byte matrix, column 0: count 4, blocklen 1, stride 3.
+        let dt = Datatype::Vector { count: 4, blocklen: 1, stride: 3 };
+        assert_eq!(dt.size(), 4);
+        assert_eq!(dt.extent(), 10);
+        let matrix: Vec<u8> = (0..12).collect();
+        assert_eq!(dt.pack(&matrix), vec![0, 3, 6, 9]);
+
+        let mut out = vec![0u8; 12];
+        dt.unpack(&[10, 20, 30, 40], &mut out);
+        assert_eq!(out[0], 10);
+        assert_eq!(out[3], 20);
+        assert_eq!(out[9], 40);
+        assert_eq!(out[1], 0, "unselected bytes untouched");
+    }
+
+    #[test]
+    fn indexed_roundtrip() {
+        let dt = Datatype::Indexed { blocks: vec![(1, 2), (5, 1), (8, 3)] };
+        assert_eq!(dt.size(), 6);
+        assert_eq!(dt.extent(), 11);
+        assert!(dt.is_valid());
+        let buf: Vec<u8> = (0..11).collect();
+        let packed = dt.pack(&buf);
+        assert_eq!(packed, vec![1, 2, 5, 8, 9, 10]);
+        let mut out = vec![0u8; 11];
+        dt.unpack(&packed, &mut out);
+        for (off, len) in dt.ranges() {
+            assert_eq!(&out[off..off + len], &buf[off..off + len]);
+        }
+    }
+
+    #[test]
+    fn invalid_types_detected() {
+        assert!(!Datatype::Vector { count: 2, blocklen: 4, stride: 3 }.is_valid());
+        assert!(!Datatype::Indexed { blocks: vec![(0, 3), (2, 1)] }.is_valid());
+        assert!(Datatype::Indexed { blocks: vec![] }.is_valid());
+    }
+
+    #[test]
+    fn empty_types() {
+        let dt = Datatype::Vector { count: 0, blocklen: 8, stride: 16 };
+        assert_eq!(dt.size(), 0);
+        assert_eq!(dt.extent(), 0);
+        assert!(dt.pack(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "extent")]
+    fn short_buffer_rejected() {
+        Datatype::Contiguous { count: 8 }.pack(&[0; 4]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Plain-old-data element types the session API moves.
+
+/// The concrete numeric kind of a [`Scalar`], used to map typed reduction
+/// operators onto the schedule IR's lane-wise combines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarKind {
+    /// IEEE-754 double.
+    F64,
+    /// Signed 64-bit integer.
+    I64,
+    /// Unsigned 64-bit integer.
+    U64,
+    /// Unsigned 32-bit integer.
+    U32,
+    /// Signed 32-bit integer.
+    I32,
+    /// Byte.
+    U8,
+}
+
+/// A fixed-width element with a defined little-endian byte representation.
+///
+/// Implemented for the numeric types the typed reduction operators cover.
+pub trait Scalar: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+    /// Element width in bytes.
+    const WIDTH: usize;
+
+    /// The element's numeric kind.
+    const KIND: ScalarKind;
+
+    /// Serializes into exactly [`Self::WIDTH`] bytes at `out`.
+    fn write_le(&self, out: &mut [u8]);
+
+    /// Deserializes from exactly [`Self::WIDTH`] bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($(($t:ty, $kind:ident)),*) => {$(
+        impl Scalar for $t {
+            const WIDTH: usize = std::mem::size_of::<$t>();
+            const KIND: ScalarKind = ScalarKind::$kind;
+
+            fn write_le(&self, out: &mut [u8]) {
+                out.copy_from_slice(&self.to_le_bytes());
+            }
+
+            fn read_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("exact width"))
+            }
+        }
+    )*};
+}
+
+impl_scalar!((f64, F64), (i64, I64), (u64, U64), (u32, U32), (i32, I32), (u8, U8));
+
+/// Serializes a slice of scalars into a little-endian byte vector.
+pub fn to_bytes<T: Scalar>(values: &[T]) -> Vec<u8> {
+    let mut out = vec![0u8; values.len() * T::WIDTH];
+    for (v, chunk) in values.iter().zip(out.chunks_exact_mut(T::WIDTH)) {
+        v.write_le(chunk);
+    }
+    out
+}
+
+/// Deserializes a little-endian byte slice into scalars.
+///
+/// # Panics
+/// Panics if `bytes.len()` is not a multiple of the element width.
+pub fn from_bytes<T: Scalar>(bytes: &[u8]) -> Vec<T> {
+    assert_eq!(bytes.len() % T::WIDTH, 0, "byte length must be element-aligned");
+    bytes.chunks_exact(T::WIDTH).map(T::read_le).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let f = vec![1.5f64, -2.25, f64::MAX, 0.0];
+        assert_eq!(from_bytes::<f64>(&to_bytes(&f)), f);
+        let i = vec![i64::MIN, -1, 0, i64::MAX];
+        assert_eq!(from_bytes::<i64>(&to_bytes(&i)), i);
+        let u = vec![0u32, 7, u32::MAX];
+        assert_eq!(from_bytes::<u32>(&to_bytes(&u)), u);
+        let b = vec![0u8, 255, 42];
+        assert_eq!(from_bytes::<u8>(&to_bytes(&b)), b);
+    }
+
+    #[test]
+    fn layout_is_little_endian() {
+        assert_eq!(to_bytes(&[1u32]), vec![1, 0, 0, 0]);
+        assert_eq!(to_bytes(&[256u64])[1], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "element-aligned")]
+    fn misaligned_rejected() {
+        from_bytes::<u32>(&[0, 1, 2]);
+    }
+}

@@ -1,0 +1,535 @@
+//! The typed session API.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use pdac_core::adaptive::AdaptiveColl;
+use pdac_core::allgather_ring::Ring;
+use pdac_core::alltoall;
+use pdac_core::bcast_tree::build_bcast_tree;
+use pdac_core::framework::CollFramework;
+use pdac_core::reduce_scatter::{reduce_scatter_schedule_with_op, ring_allreduce_schedule_with_op};
+use pdac_core::sched::{allreduce_schedule_with_op, barrier_schedule, reduce_schedule_with_op};
+use pdac_core::{gather as dist_gather, scatter as dist_scatter};
+use pdac_hwtopo::{Binding, BindingPolicy, Machine, TopoError};
+use pdac_mpisim::{Communicator, ExecError, ExecResult, KnemStats, ThreadExecutor};
+use pdac_simnet::{BufId, DataOp, Schedule};
+
+use crate::datatype::Datatype;
+use crate::scalar::{from_bytes, to_bytes, Scalar, ScalarKind};
+
+/// Typed reduction operators (the MPI_Op subset with lane-wise support).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum (f64, i64; u8 wraps).
+    Sum,
+    /// Element-wise maximum (f64, u64).
+    Max,
+    /// Element-wise minimum (f64).
+    Min,
+    /// Element-wise product (f64).
+    Prod,
+    /// Bitwise OR (u8).
+    Bor,
+}
+
+/// Session-level failures.
+#[derive(Debug)]
+pub enum MpiError {
+    /// Placement or machine construction failed.
+    Topo(TopoError),
+    /// Thread execution failed.
+    Exec(ExecError),
+    /// Caller-provided buffers have inconsistent shapes.
+    Shape(String),
+    /// The reduction operator is not supported for the element type.
+    UnsupportedOp {
+        /// Requested operator.
+        op: ReduceOp,
+        /// Element kind it was requested for.
+        kind: ScalarKind,
+    },
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::Topo(e) => write!(f, "topology error: {e}"),
+            MpiError::Exec(e) => write!(f, "execution error: {e}"),
+            MpiError::Shape(s) => write!(f, "shape error: {s}"),
+            MpiError::UnsupportedOp { op, kind } => {
+                write!(f, "{op:?} is not supported for {kind:?} elements")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+impl From<TopoError> for MpiError {
+    fn from(e: TopoError) -> Self {
+        MpiError::Topo(e)
+    }
+}
+
+impl From<ExecError> for MpiError {
+    fn from(e: ExecError) -> Self {
+        MpiError::Exec(e)
+    }
+}
+
+/// Maps a typed operator onto a lane-wise [`DataOp`].
+fn data_op_for(op: ReduceOp, kind: ScalarKind) -> Result<DataOp, MpiError> {
+    use ScalarKind::*;
+    match (op, kind) {
+        (ReduceOp::Sum, F64) => Ok(DataOp::SumF64),
+        (ReduceOp::Max, F64) => Ok(DataOp::MaxF64),
+        (ReduceOp::Min, F64) => Ok(DataOp::MinF64),
+        (ReduceOp::Prod, F64) => Ok(DataOp::ProdF64),
+        (ReduceOp::Sum, I64) => Ok(DataOp::SumI64),
+        (ReduceOp::Max, U64) => Ok(DataOp::MaxU64),
+        (ReduceOp::Sum, U8) => Ok(DataOp::Add),
+        (ReduceOp::Bor, U8) => Ok(DataOp::BorU8),
+        (op, kind) => Err(MpiError::UnsupportedOp { op, kind }),
+    }
+}
+
+/// An MPI-style session: a communicator over a bound machine plus the
+/// distance-aware collective stack, executing on real threads.
+///
+/// The caller holds all ranks' buffers at once (`bufs[rank]`) — SPMD by
+/// proxy, the natural interface for a simulation-backed reproduction.
+pub struct Session {
+    comm: Communicator,
+    framework: CollFramework,
+    coll: AdaptiveColl,
+    last_knem: Cell<KnemStats>,
+}
+
+impl Session {
+    /// Creates a session binding `nranks` ranks to `machine` with `policy`.
+    pub fn new(
+        machine: Arc<Machine>,
+        policy: BindingPolicy,
+        nranks: usize,
+    ) -> Result<Self, MpiError> {
+        let binding = policy.bind(&machine, nranks)?;
+        Ok(Self::from_parts(Communicator::world(machine, binding), CollFramework::default()))
+    }
+
+    /// Creates a session over an explicit binding and framework.
+    pub fn with_binding(
+        machine: Arc<Machine>,
+        binding: Binding,
+        framework: CollFramework,
+    ) -> Self {
+        Self::from_parts(Communicator::world(machine, binding), framework)
+    }
+
+    fn from_parts(comm: Communicator, framework: CollFramework) -> Self {
+        let coll = AdaptiveColl::new(framework.adaptive);
+        Session { comm, framework, coll, last_knem: Cell::new(KnemStats::default()) }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    /// The underlying communicator.
+    pub fn comm(&self) -> &Communicator {
+        &self.comm
+    }
+
+    /// KNEM device counters of the most recent collective.
+    pub fn last_knem_stats(&self) -> KnemStats {
+        self.last_knem.get()
+    }
+
+    /// Runs a schedule with per-rank send payloads; records device stats.
+    fn execute(&self, schedule: &Schedule, send: &[Vec<u8>]) -> Result<ExecResult, MpiError> {
+        let result = ThreadExecutor::new().run(schedule, |rank, size| {
+            let mut bytes = send.get(rank).cloned().unwrap_or_default();
+            bytes.resize(size.max(bytes.len()), 0);
+            bytes
+        })?;
+        self.last_knem.set(result.knem_stats);
+        Ok(result)
+    }
+
+    fn check_uniform<T>(&self, bufs: &[Vec<T>], what: &str) -> Result<usize, MpiError> {
+        if bufs.len() != self.size() {
+            return Err(MpiError::Shape(format!(
+                "{what}: {} buffers for {} ranks",
+                bufs.len(),
+                self.size()
+            )));
+        }
+        let len = bufs.first().map(Vec::len).unwrap_or(0);
+        if bufs.iter().any(|b| b.len() != len) {
+            return Err(MpiError::Shape(format!("{what}: buffers have unequal lengths")));
+        }
+        Ok(len)
+    }
+
+    /// Broadcast: after the call every rank's buffer equals the root's.
+    pub fn bcast<T: Scalar>(&self, bufs: &mut [Vec<T>], root: usize) -> Result<(), MpiError> {
+        let len = self.check_uniform(bufs, "bcast")?;
+        if len == 0 || self.size() == 1 {
+            let src = bufs[root].clone();
+            for b in bufs.iter_mut() {
+                b.clone_from(&src);
+            }
+            return Ok(());
+        }
+        let bytes = len * T::WIDTH;
+        let schedule = self.framework.bcast(&self.comm, root, bytes);
+        let mut send: Vec<Vec<u8>> = vec![Vec::new(); self.size()];
+        send[root] = to_bytes(&bufs[root]);
+        let result = self.execute(&schedule, &send)?;
+        for (r, buf) in bufs.iter_mut().enumerate() {
+            if r != root {
+                *buf = from_bytes(&result.buffer(r, BufId::Recv)[..bytes]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Broadcast of a derived datatype: the selected bytes of the root's
+    /// buffer are packed, broadcast and unpacked into every rank's buffer.
+    pub fn bcast_typed(
+        &self,
+        bufs: &mut [Vec<u8>],
+        dt: &Datatype,
+        root: usize,
+    ) -> Result<(), MpiError> {
+        if bufs.len() != self.size() {
+            return Err(MpiError::Shape("bcast_typed: one buffer per rank".into()));
+        }
+        if !dt.is_valid() {
+            return Err(MpiError::Shape("bcast_typed: invalid datatype".into()));
+        }
+        let mut packed: Vec<Vec<u8>> = vec![dt.pack(&bufs[root])];
+        // Reuse the scalar path over the packed bytes.
+        let mut staged: Vec<Vec<u8>> = (0..self.size())
+            .map(|r| if r == root { packed.pop().expect("one packed") } else { vec![0; dt.size()] })
+            .collect();
+        if dt.size() > 0 {
+            self.bcast::<u8>(&mut staged, root)?;
+        }
+        for (r, buf) in bufs.iter_mut().enumerate() {
+            if r != root {
+                dt.unpack(&staged[r], buf);
+            }
+        }
+        Ok(())
+    }
+
+    /// Allgather: every rank contributes its vector; every rank receives
+    /// the concatenation in rank order.
+    pub fn allgather<T: Scalar>(&self, contribs: &[Vec<T>]) -> Result<Vec<Vec<T>>, MpiError> {
+        let len = self.check_uniform(contribs, "allgather")?;
+        if len == 0 {
+            return Ok(vec![Vec::new(); self.size()]);
+        }
+        let block = len * T::WIDTH;
+        let schedule = self.framework.allgather(&self.comm, block);
+        let send: Vec<Vec<u8>> = contribs.iter().map(|c| to_bytes(c)).collect();
+        let result = self.execute(&schedule, &send)?;
+        Ok((0..self.size())
+            .map(|r| from_bytes(&result.buffer(r, BufId::Recv)[..block * self.size()]))
+            .collect())
+    }
+
+    /// Reduce: the root receives the element-wise combination of every
+    /// rank's contribution.
+    pub fn reduce<T: Scalar>(
+        &self,
+        contribs: &[Vec<T>],
+        op: ReduceOp,
+        root: usize,
+    ) -> Result<Vec<T>, MpiError> {
+        let len = self.check_uniform(contribs, "reduce")?;
+        let data_op = data_op_for(op, T::KIND)?;
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let bytes = len * T::WIDTH;
+        let tree = build_bcast_tree(&self.comm.distances(), root);
+        let schedule = reduce_schedule_with_op(&tree, bytes, data_op);
+        let send: Vec<Vec<u8>> = contribs.iter().map(|c| to_bytes(c)).collect();
+        let result = self.execute(&schedule, &send)?;
+        Ok(from_bytes(&result.buffer(root, BufId::Recv)[..bytes]))
+    }
+
+    /// Allreduce: every rank receives the combination. Payloads that split
+    /// evenly over the ranks (and are worth the traffic) use the
+    /// bandwidth-optimal ring; everything else uses the tree.
+    pub fn allreduce<T: Scalar>(
+        &self,
+        contribs: &[Vec<T>],
+        op: ReduceOp,
+    ) -> Result<Vec<Vec<T>>, MpiError> {
+        let len = self.check_uniform(contribs, "allreduce")?;
+        let data_op = data_op_for(op, T::KIND)?;
+        if len == 0 {
+            return Ok(vec![Vec::new(); self.size()]);
+        }
+        let n = self.size();
+        let bytes = len * T::WIDTH;
+        let lane = data_op.lane_bytes();
+        let ring_block = bytes / n;
+        let use_ring =
+            n > 1 && bytes % n == 0 && ring_block.is_multiple_of(lane) && bytes >= 256 * 1024;
+        let schedule = if use_ring {
+            let ring = Ring::build(&self.comm.distances());
+            ring_allreduce_schedule_with_op(&ring, ring_block, data_op)
+        } else {
+            let tree = build_bcast_tree(&self.comm.distances(), 0);
+            allreduce_schedule_with_op(&tree, bytes, &self.coll.policy().sched, data_op)
+        };
+        let send: Vec<Vec<u8>> = contribs.iter().map(|c| to_bytes(c)).collect();
+        let result = self.execute(&schedule, &send)?;
+        Ok((0..n).map(|r| from_bytes(&result.buffer(r, BufId::Recv)[..bytes])).collect())
+    }
+
+    /// Reduce-scatter: contributions of `n * block` elements; rank `r`
+    /// receives the reduced block `r`.
+    pub fn reduce_scatter<T: Scalar>(
+        &self,
+        contribs: &[Vec<T>],
+        op: ReduceOp,
+    ) -> Result<Vec<Vec<T>>, MpiError> {
+        let len = self.check_uniform(contribs, "reduce_scatter")?;
+        let data_op = data_op_for(op, T::KIND)?;
+        let n = self.size();
+        if len % n != 0 {
+            return Err(MpiError::Shape(format!(
+                "reduce_scatter: {len} elements do not split over {n} ranks"
+            )));
+        }
+        let block = (len / n) * T::WIDTH;
+        if block == 0 {
+            return Ok(vec![Vec::new(); n]);
+        }
+        if !block.is_multiple_of(data_op.lane_bytes()) {
+            return Err(MpiError::Shape("reduce_scatter: block not lane-aligned".into()));
+        }
+        let ring = Ring::build(&self.comm.distances());
+        let schedule = reduce_scatter_schedule_with_op(&ring, block, data_op);
+        let send: Vec<Vec<u8>> = contribs.iter().map(|c| to_bytes(c)).collect();
+        let result = self.execute(&schedule, &send)?;
+        Ok((0..n).map(|r| from_bytes(&result.buffer(r, BufId::Recv)[..block])).collect())
+    }
+
+    /// Gather: the root receives every rank's contribution, concatenated.
+    pub fn gather<T: Scalar>(
+        &self,
+        contribs: &[Vec<T>],
+        root: usize,
+    ) -> Result<Vec<T>, MpiError> {
+        let len = self.check_uniform(contribs, "gather")?;
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let block = len * T::WIDTH;
+        let schedule = dist_gather::distance_aware(&self.comm, root, block);
+        let send: Vec<Vec<u8>> = contribs.iter().map(|c| to_bytes(c)).collect();
+        let result = self.execute(&schedule, &send)?;
+        Ok(from_bytes(&result.buffer(root, BufId::Recv)[..block * self.size()]))
+    }
+
+    /// Scatter: the root's `n * block` elements are split; rank `r`
+    /// receives block `r`.
+    pub fn scatter<T: Scalar>(&self, data: &[T], root: usize) -> Result<Vec<Vec<T>>, MpiError> {
+        let n = self.size();
+        if !data.len().is_multiple_of(n) {
+            return Err(MpiError::Shape(format!(
+                "scatter: {} elements do not split over {n} ranks",
+                data.len()
+            )));
+        }
+        let block = (data.len() / n) * T::WIDTH;
+        if block == 0 {
+            return Ok(vec![Vec::new(); n]);
+        }
+        let schedule = dist_scatter::distance_aware(&self.comm, root, block);
+        let mut send: Vec<Vec<u8>> = vec![Vec::new(); n];
+        send[root] = to_bytes(data);
+        let result = self.execute(&schedule, &send)?;
+        Ok((0..n).map(|r| from_bytes(&result.buffer(r, BufId::Recv)[..block])).collect())
+    }
+
+    /// Alltoall: each rank's `n * block` elements are personalized; rank
+    /// `r` receives block `r` from everyone, in rank order.
+    pub fn alltoall<T: Scalar>(&self, bufs: &[Vec<T>]) -> Result<Vec<Vec<T>>, MpiError> {
+        let len = self.check_uniform(bufs, "alltoall")?;
+        let n = self.size();
+        if len % n != 0 {
+            return Err(MpiError::Shape(format!(
+                "alltoall: {len} elements do not split over {n} ranks"
+            )));
+        }
+        let block = (len / n) * T::WIDTH;
+        if block == 0 {
+            return Ok(vec![Vec::new(); n]);
+        }
+        let schedule = alltoall::distance_aware(&self.comm, block);
+        let send: Vec<Vec<u8>> = bufs.iter().map(|c| to_bytes(c)).collect();
+        let result = self.execute(&schedule, &send)?;
+        Ok((0..n).map(|r| from_bytes(&result.buffer(r, BufId::Recv)[..block * n])).collect())
+    }
+
+    /// Barrier: completes once every rank has entered (notification
+    /// gather-up/release-down over the distance-aware tree).
+    pub fn barrier(&self) -> Result<(), MpiError> {
+        if self.size() == 1 {
+            return Ok(());
+        }
+        let tree = build_bcast_tree(&self.comm.distances(), 0);
+        let schedule = barrier_schedule(&tree);
+        self.execute(&schedule, &[])?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdac_hwtopo::machines;
+
+    fn session(n: usize) -> Session {
+        Session::new(Arc::new(machines::ig()), BindingPolicy::CrossSocket, n).unwrap()
+    }
+
+    #[test]
+    fn bcast_typed_scalars() {
+        let s = session(12);
+        let mut bufs: Vec<Vec<f64>> = (0..12).map(|r| vec![r as f64; 100]).collect();
+        s.bcast(&mut bufs, 5).unwrap();
+        assert!(bufs.iter().all(|b| b == &vec![5.0; 100]));
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let s = session(8);
+        let contribs: Vec<Vec<f64>> = (0..8).map(|r| vec![r as f64, -(r as f64)]).collect();
+        let sums = s.allreduce(&contribs, ReduceOp::Sum).unwrap();
+        assert!(sums.iter().all(|v| v == &vec![28.0, -28.0]));
+        let maxs = s.allreduce(&contribs, ReduceOp::Max).unwrap();
+        assert!(maxs.iter().all(|v| v == &vec![7.0, 0.0]));
+    }
+
+    #[test]
+    fn allreduce_uses_ring_for_large_divisible_payloads() {
+        let s = session(8);
+        // 8 * 8192 f64 = 512KB: divisible and large -> ring path.
+        let contribs: Vec<Vec<f64>> = (0..8).map(|r| vec![r as f64; 8 * 8192]).collect();
+        let sums = s.allreduce(&contribs, ReduceOp::Sum).unwrap();
+        assert!(sums.iter().all(|v| v.iter().all(|&x| x == 28.0)));
+    }
+
+    #[test]
+    fn reduce_min_prod_i64() {
+        let s = session(6);
+        let contribs: Vec<Vec<f64>> = (0..6).map(|r| vec![(r + 1) as f64]).collect();
+        assert_eq!(s.reduce(&contribs, ReduceOp::Min, 2).unwrap(), vec![1.0]);
+        assert_eq!(s.reduce(&contribs, ReduceOp::Prod, 2).unwrap(), vec![720.0]);
+        let ints: Vec<Vec<i64>> = (0..6).map(|r| vec![r as i64, -1]).collect();
+        assert_eq!(s.reduce(&ints, ReduceOp::Sum, 0).unwrap(), vec![15, -6]);
+    }
+
+    #[test]
+    fn unsupported_op_rejected() {
+        let s = session(4);
+        let contribs: Vec<Vec<u32>> = (0..4).map(|r| vec![r]).collect();
+        assert!(matches!(
+            s.reduce(&contribs, ReduceOp::Sum, 0),
+            Err(MpiError::UnsupportedOp { .. })
+        ));
+    }
+
+    #[test]
+    fn allgather_gather_scatter_alltoall() {
+        let s = session(6);
+        let contribs: Vec<Vec<u32>> = (0..6).map(|r| vec![r as u32 * 10, r as u32 * 10 + 1]).collect();
+        let gathered = s.allgather(&contribs).unwrap();
+        let expect: Vec<u32> = (0..6).flat_map(|r| [r * 10, r * 10 + 1]).collect();
+        assert!(gathered.iter().all(|g| g == &expect));
+        assert_eq!(s.gather(&contribs, 3).unwrap(), expect);
+
+        let scattered = s.scatter(&expect, 3).unwrap();
+        for (r, block) in scattered.iter().enumerate() {
+            assert_eq!(block, &contribs[r]);
+        }
+
+        // Alltoall with per-destination payloads.
+        let bufs: Vec<Vec<u32>> = (0..6).map(|src| (0..6).map(|dst| (src * 6 + dst) as u32).collect()).collect();
+        let exchanged = s.alltoall(&bufs).unwrap();
+        for (dst, got) in exchanged.iter().enumerate() {
+            let expect: Vec<u32> = (0..6).map(|src| (src * 6 + dst) as u32).collect();
+            assert_eq!(got, &expect, "rank {dst}");
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_blocks() {
+        let s = session(4);
+        let contribs: Vec<Vec<i64>> = (0..4).map(|r| (0..8).map(|i| (r * 8 + i) as i64).collect()).collect();
+        let blocks = s.reduce_scatter(&contribs, ReduceOp::Sum).unwrap();
+        for (r, block) in blocks.iter().enumerate() {
+            let expect: Vec<i64> =
+                (0..2).map(|i| (0..4).map(|src| (src * 8 + r * 2 + i) as i64).sum()).collect();
+            assert_eq!(block, &expect, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        let s = session(4);
+        let bad: Vec<Vec<f64>> = vec![vec![0.0]; 3];
+        assert!(matches!(s.allgather(&bad), Err(MpiError::Shape(_))));
+        let ragged: Vec<Vec<f64>> = vec![vec![0.0], vec![0.0, 1.0], vec![], vec![]];
+        assert!(matches!(s.allgather(&ragged), Err(MpiError::Shape(_))));
+        assert!(matches!(s.scatter(&[1.0f64; 7], 0), Err(MpiError::Shape(_))));
+    }
+
+    #[test]
+    fn barrier_and_stats() {
+        let s = session(16);
+        s.barrier().unwrap();
+        let mut bufs: Vec<Vec<u8>> = (0..16).map(|r| vec![r as u8; 100_000]).collect();
+        s.bcast(&mut bufs, 0).unwrap();
+        assert!(s.last_knem_stats().copies > 0, "large bcast went through the kernel");
+    }
+
+    #[test]
+    fn bcast_typed_strided_column() {
+        let s = session(4);
+        // 8x8 byte matrices; broadcast column 2 of root rank 1 into
+        // everyone's column 2, leaving the rest untouched.
+        let mut bufs: Vec<Vec<u8>> = (0..4).map(|r| vec![r as u8; 64]).collect();
+        for i in 0..8 {
+            bufs[1][i * 8 + 2] = 100 + i as u8;
+        }
+        let dt = Datatype::Indexed { blocks: (0..8).map(|i| (i * 8 + 2, 1)).collect() };
+        s.bcast_typed(&mut bufs, &dt, 1).unwrap();
+        for r in 0..4 {
+            for i in 0..8 {
+                assert_eq!(bufs[r][i * 8 + 2], 100 + i as u8, "rank {r} row {i}");
+                if r != 1 {
+                    assert_eq!(bufs[r][i * 8], r as u8, "unselected bytes untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_session() {
+        let s = session(1);
+        let mut bufs = vec![vec![1.0f64, 2.0]];
+        s.bcast(&mut bufs, 0).unwrap();
+        assert_eq!(s.allreduce(&bufs, ReduceOp::Sum).unwrap()[0], vec![1.0, 2.0]);
+        s.barrier().unwrap();
+    }
+}

@@ -1,0 +1,190 @@
+//! Communicators: rank groups over a bound machine.
+//!
+//! The paper's central observation is that collective topology must be
+//! rebuilt per communicator at runtime, because communicators are created
+//! dynamically (`dup`, `split`, rank reordering) while process placement is
+//! fixed. A [`Communicator`] therefore owns exactly the inputs the
+//! distance-aware framework consumes: the machine, and the rank → core
+//! binding *as seen by this communicator*.
+
+use std::sync::Arc;
+
+use pdac_hwtopo::{Binding, CoreId, DistanceMatrix, Machine};
+
+/// A group of ranks bound to cores of one machine.
+#[derive(Debug, Clone)]
+pub struct Communicator {
+    machine: Arc<Machine>,
+    binding: Binding,
+    name: String,
+}
+
+impl Communicator {
+    /// The world communicator: all ranks of `binding` in order.
+    pub fn world(machine: Arc<Machine>, binding: Binding) -> Self {
+        Communicator { machine, binding, name: "world".into() }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.binding.num_ranks()
+    }
+
+    /// The machine the communicator lives on.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Shared handle to the machine.
+    pub fn machine_arc(&self) -> Arc<Machine> {
+        Arc::clone(&self.machine)
+    }
+
+    /// The rank → core binding of this communicator.
+    pub fn binding(&self) -> &Binding {
+        &self.binding
+    }
+
+    /// Core of `rank`.
+    pub fn core_of(&self, rank: usize) -> CoreId {
+        self.binding.core_of(rank)
+    }
+
+    /// Communicator name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Distance matrix between this communicator's ranks — the input of the
+    /// distance-aware topology constructions.
+    pub fn distances(&self) -> DistanceMatrix {
+        DistanceMatrix::for_binding(&self.machine, &self.binding)
+    }
+
+    /// `MPI_Comm_dup`: same group, new name.
+    pub fn dup(&self) -> Self {
+        Communicator {
+            machine: Arc::clone(&self.machine),
+            binding: self.binding.clone(),
+            name: format!("{}.dup", self.name),
+        }
+    }
+
+    /// A communicator over a subset of ranks: `ranks[i]` here becomes rank
+    /// `i` there. Also expresses pure rank permutations (`ranks` =
+    /// permutation of `0..size`).
+    ///
+    /// # Panics
+    /// Panics if `ranks` references an out-of-range rank.
+    pub fn subset(&self, ranks: &[usize]) -> Self {
+        assert!(
+            ranks.iter().all(|&r| r < self.size()),
+            "subset rank out of range for {}",
+            self.name
+        );
+        Communicator {
+            machine: Arc::clone(&self.machine),
+            binding: self.binding.subset(ranks),
+            name: format!("{}.subset", self.name),
+        }
+    }
+
+    /// `MPI_Comm_split`: ranks with equal `color` group together, ordered by
+    /// `(key, rank)`. Returns the children ordered by color.
+    pub fn split(&self, color: impl Fn(usize) -> i64, key: impl Fn(usize) -> i64) -> Vec<Self> {
+        let mut by_color: std::collections::BTreeMap<i64, Vec<usize>> = Default::default();
+        for r in 0..self.size() {
+            by_color.entry(color(r)).or_default().push(r);
+        }
+        by_color
+            .into_iter()
+            .map(|(c, mut ranks)| {
+                ranks.sort_by_key(|&r| (key(r), r));
+                let mut child = self.subset(&ranks);
+                child.name = format!("{}.split{c}", self.name);
+                child
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdac_hwtopo::{machines, BindingPolicy};
+
+    fn world() -> Communicator {
+        let ig = Arc::new(machines::ig());
+        let binding = BindingPolicy::Contiguous.bind(&ig, 48).unwrap();
+        Communicator::world(ig, binding)
+    }
+
+    #[test]
+    fn world_size_and_cores() {
+        let w = world();
+        assert_eq!(w.size(), 48);
+        assert_eq!(w.core_of(47), 47);
+    }
+
+    #[test]
+    fn dup_preserves_group() {
+        let w = world();
+        let d = w.dup();
+        assert_eq!(d.size(), w.size());
+        assert_eq!(d.binding(), w.binding());
+        assert_ne!(d.name(), w.name());
+    }
+
+    #[test]
+    fn subset_renumbers_ranks() {
+        let w = world();
+        let s = w.subset(&[47, 0, 6]);
+        assert_eq!(s.size(), 3);
+        assert_eq!(s.core_of(0), 47);
+        assert_eq!(s.core_of(1), 0);
+        assert_eq!(s.core_of(2), 6);
+    }
+
+    #[test]
+    fn permutation_changes_distances_not_set() {
+        let w = world();
+        // Reverse ranks: distance matrix permutes accordingly.
+        let perm: Vec<usize> = (0..48).rev().collect();
+        let p = w.subset(&perm);
+        let dw = w.distances();
+        let dp = p.distances();
+        assert_eq!(dw.get(0, 6), dp.get(47, 41));
+        assert_eq!(dw.histogram(), dp.histogram(), "same multiset of pair distances");
+    }
+
+    #[test]
+    fn split_by_numa_gives_one_group_per_socket() {
+        let w = world();
+        let machine = w.machine_arc();
+        let groups = w.split(|r| machine.core(r).numa as i64, |r| r as i64);
+        assert_eq!(groups.len(), 8);
+        for (n, g) in groups.iter().enumerate() {
+            assert_eq!(g.size(), 6);
+            for r in 0..6 {
+                assert_eq!(w.machine().core(g.core_of(r)).numa, n);
+            }
+            // All intra-group distances are 1 on IG.
+            let d = g.distances();
+            assert_eq!(d.classes(), vec![1]);
+        }
+    }
+
+    #[test]
+    fn split_orders_by_key_then_rank() {
+        let w = world();
+        let groups = w.split(|_| 0, |r| -(r as i64));
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].core_of(0), 47, "highest rank first under negative key");
+    }
+
+    #[test]
+    #[should_panic(expected = "subset rank out of range")]
+    fn subset_rejects_out_of_range() {
+        world().subset(&[48]);
+    }
+}

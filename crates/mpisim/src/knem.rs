@@ -1,0 +1,224 @@
+//! A model of the KNEM kernel single-copy module.
+//!
+//! KNEM lets a process expose a memory region to the kernel and hand the
+//! returned *cookie* to a peer, which then performs a single-copy read
+//! (pull) or write into its own address space — one memory traversal per
+//! byte instead of the two of shared-memory copy-in/copy-out, at the price
+//! of a fixed per-operation cost (trap + cookie management) that the timing
+//! simulator charges as `knem_setup`.
+//!
+//! This module reproduces the *interface contract*: region registration,
+//! cookie lookup with bounds checking, deregistration, and usage statistics.
+//! The [`crate::ThreadExecutor`] drives it for every `Mech::Knem` copy, so a
+//! collective's kernel-crossing count is observable in tests (the paper's
+//! overhead argument, §IV-A).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use pdac_simnet::{BufId, Rank};
+
+/// Opaque handle to a registered region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cookie(u64);
+
+/// A registered memory region: a byte range of one rank's buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Region {
+    rank: Rank,
+    buf: BufId,
+    offset: usize,
+    len: usize,
+}
+
+/// KNEM API failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnemError {
+    /// The cookie is unknown (never registered or already deregistered).
+    BadCookie(Cookie),
+    /// The requested range exceeds the registered region.
+    OutOfRegion {
+        /// Offending cookie.
+        cookie: Cookie,
+        /// Requested range start within the region.
+        offset: usize,
+        /// Requested length.
+        len: usize,
+        /// Registered region length.
+        region_len: usize,
+    },
+}
+
+impl std::fmt::Display for KnemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KnemError::BadCookie(c) => write!(f, "unknown KNEM cookie {c:?}"),
+            KnemError::OutOfRegion { cookie, offset, len, region_len } => write!(
+                f,
+                "KNEM copy {offset}..{} exceeds region of {region_len} bytes for {cookie:?}",
+                offset + len
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KnemError {}
+
+/// Aggregate usage counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KnemStats {
+    /// Regions registered over the device lifetime.
+    pub registrations: u64,
+    /// Regions deregistered.
+    pub deregistrations: u64,
+    /// Single-copy operations performed.
+    pub copies: u64,
+    /// Bytes moved by single-copy operations.
+    pub bytes_copied: u64,
+}
+
+/// Copy failures injected after a budget of successful operations — the
+/// fault-injection hook for exercising error propagation end-to-end (a real
+/// KNEM copy can fail mid-collective: region torn down, `-EFAULT`, module
+/// unloaded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Number of copies that succeed before every further copy fails.
+    pub fail_after_copies: u64,
+}
+
+/// The simulated device. Thread-safe: ranks register and pull concurrently.
+#[derive(Debug, Default)]
+pub struct KnemDevice {
+    regions: Mutex<HashMap<u64, Region>>,
+    next: AtomicU64,
+    stats: Mutex<KnemStats>,
+    fault: Option<FaultPlan>,
+}
+
+impl KnemDevice {
+    /// Creates an empty device.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a device that injects copy failures per `plan`.
+    pub fn with_faults(plan: FaultPlan) -> Self {
+        KnemDevice { fault: Some(plan), ..Default::default() }
+    }
+
+    /// Registers `len` bytes at `offset` of `(rank, buf)`; returns the
+    /// cookie a peer needs to pull from the region.
+    pub fn register(&self, rank: Rank, buf: BufId, offset: usize, len: usize) -> Cookie {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.regions.lock().insert(id, Region { rank, buf, offset, len });
+        self.stats.lock().registrations += 1;
+        Cookie(id)
+    }
+
+    /// Validates a single-copy of `len` bytes starting `offset` bytes into
+    /// the region named by `cookie`, and accounts for it. Returns the
+    /// absolute `(rank, buf, byte offset)` the copy reads from.
+    pub fn copy_from(
+        &self,
+        cookie: Cookie,
+        offset: usize,
+        len: usize,
+    ) -> Result<(Rank, BufId, usize), KnemError> {
+        let regions = self.regions.lock();
+        let region = regions.get(&cookie.0).copied().ok_or(KnemError::BadCookie(cookie))?;
+        drop(regions);
+        if offset + len > region.len {
+            return Err(KnemError::OutOfRegion { cookie, offset, len, region_len: region.len });
+        }
+        let mut stats = self.stats.lock();
+        if let Some(plan) = self.fault {
+            if stats.copies >= plan.fail_after_copies {
+                // Report the injected fault as a dead cookie (what a torn
+                // down region looks like to the caller).
+                return Err(KnemError::BadCookie(cookie));
+            }
+        }
+        stats.copies += 1;
+        stats.bytes_copied += len as u64;
+        Ok((region.rank, region.buf, region.offset + offset))
+    }
+
+    /// Removes a registration; later pulls with the cookie fail.
+    pub fn deregister(&self, cookie: Cookie) -> Result<(), KnemError> {
+        match self.regions.lock().remove(&cookie.0) {
+            Some(_) => {
+                self.stats.lock().deregistrations += 1;
+                Ok(())
+            }
+            None => Err(KnemError::BadCookie(cookie)),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> KnemStats {
+        *self.stats.lock()
+    }
+
+    /// Number of live registrations.
+    pub fn live_regions(&self) -> usize {
+        self.regions.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_copy_deregister() {
+        let dev = KnemDevice::new();
+        let c = dev.register(3, BufId::Send, 16, 1024);
+        let (rank, buf, abs) = dev.copy_from(c, 100, 24).unwrap();
+        assert_eq!((rank, buf, abs), (3, BufId::Send, 116));
+        dev.deregister(c).unwrap();
+        assert_eq!(dev.copy_from(c, 0, 1), Err(KnemError::BadCookie(c)));
+        assert_eq!(dev.live_regions(), 0);
+        let s = dev.stats();
+        assert_eq!(s.registrations, 1);
+        assert_eq!(s.deregistrations, 1);
+        assert_eq!(s.copies, 1);
+        assert_eq!(s.bytes_copied, 24);
+    }
+
+    #[test]
+    fn out_of_region_rejected() {
+        let dev = KnemDevice::new();
+        let c = dev.register(0, BufId::Recv, 0, 100);
+        assert!(matches!(dev.copy_from(c, 90, 20), Err(KnemError::OutOfRegion { .. })));
+        // Exactly at the boundary is fine.
+        assert!(dev.copy_from(c, 90, 10).is_ok());
+    }
+
+    #[test]
+    fn double_deregister_fails() {
+        let dev = KnemDevice::new();
+        let c = dev.register(0, BufId::Send, 0, 8);
+        dev.deregister(c).unwrap();
+        assert_eq!(dev.deregister(c), Err(KnemError::BadCookie(c)));
+    }
+
+    #[test]
+    fn cookies_are_unique_across_threads() {
+        let dev = std::sync::Arc::new(KnemDevice::new());
+        let mut handles = Vec::new();
+        for r in 0..8 {
+            let d = std::sync::Arc::clone(&dev);
+            handles.push(std::thread::spawn(move || {
+                (0..100).map(|i| d.register(r, BufId::Send, i, 1)).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<Cookie> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let before = all.len();
+        all.sort_by_key(|c| c.0);
+        all.dedup();
+        assert_eq!(all.len(), before);
+        assert_eq!(dev.live_regions(), 800);
+    }
+}

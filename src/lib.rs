@@ -1,0 +1,40 @@
+//! # pdac — Process Distance-Aware Adaptive MPI Collective Communications
+//!
+//! Facade crate re-exporting the workspace's public API. See the README and
+//! the individual crates for details:
+//!
+//! * [`hwtopo`] — hardware topology model, process distance, bindings;
+//! * [`simnet`] — discrete-event memory-system simulator;
+//! * [`mpisim`] — MPI-like runtime, KNEM model, thread executor;
+//! * [`collectives`] — distance-aware topologies, baselines, schedules;
+//! * [`mpi`] — the typed MPI-style session API on top of everything.
+//!
+//! The whole pipeline in a dozen lines — machine, hostile placement,
+//! distance-aware broadcast, simulated timing, byte-exact verification:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pdac::collectives::{adaptive::AdaptiveColl, verify};
+//! use pdac::hwtopo::{machines, BindingPolicy};
+//! use pdac::mpisim::Communicator;
+//! use pdac::simnet::{bw_bcast, SimConfig, SimExecutor};
+//!
+//! let machine = Arc::new(machines::ig());
+//! let binding = BindingPolicy::CrossSocket.bind(&machine, 48)?;
+//! let comm = Communicator::world(Arc::clone(&machine), binding.clone());
+//!
+//! let schedule = AdaptiveColl::default().bcast(&comm, 0, 1 << 20);
+//! let report = SimExecutor::new(&machine, &binding, SimConfig::default()).run(&schedule)?;
+//! assert!(bw_bcast(48, 1 << 20, report.total_time) > 10_000.0, "tens of GB/s aggregate");
+//!
+//! verify::verify_bcast(&schedule, 0, 1 << 20)?; // real threads, real bytes
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pdac_core as collectives;
+pub use pdac_hwtopo as hwtopo;
+pub use pdac_mpi as mpi;
+pub use pdac_mpisim as mpisim;
+pub use pdac_simnet as simnet;
