@@ -10,12 +10,17 @@
 //! edge sorting, Kruskal tree construction and ring construction from 16 up
 //! to 1024 ranks (the complete graph then has ~524k edges).
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pdac_core::adaptive::{AdaptiveColl, BcastTopology};
 use pdac_core::allgather_ring::Ring;
 use pdac_core::bcast_tree::build_bcast_tree;
 use pdac_core::edges::{bcast_edge_order, ring_edge_order};
 use pdac_core::sched::{allgather_schedule, bcast_schedule, SchedConfig};
+use pdac_core::TopoCache;
 use pdac_hwtopo::{machines, BindingPolicy, DistanceMatrix};
+use pdac_mpisim::Communicator;
 
 /// A machine with `ranks` cores shaped like a big NUMA box.
 fn setup(ranks: usize) -> DistanceMatrix {
@@ -79,5 +84,39 @@ fn bench_schedule_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_construction, bench_distance_matrix, bench_schedule_generation);
+/// Cached vs cold topology construction on a 32-rank communicator — the
+/// steady state of repeated collectives (see `src/bin/hotpath.rs` for the
+/// standalone report with the same workload).
+fn bench_topo_cache(c: &mut Criterion) {
+    let machine = Arc::new(machines::synthetic(2, 2, 8, true));
+    let binding = BindingPolicy::Random { seed: 9 }.bind(&machine, 32).unwrap();
+    let comm = Communicator::world(Arc::clone(&machine), binding);
+    let coll = AdaptiveColl::default();
+    let cache = TopoCache::new();
+    for root in 0..32 {
+        coll.bcast_tree_cached(&cache, &comm, root, BcastTopology::Hierarchical);
+    }
+    coll.allgather_ring_cached(&cache, &comm);
+
+    let mut group = c.benchmark_group("topo_cache");
+    group.bench_function("bcast_tree_cold", |b| {
+        b.iter(|| coll.bcast_tree(&comm, 0, BcastTopology::Hierarchical))
+    });
+    group.bench_function("bcast_tree_cached", |b| {
+        b.iter(|| coll.bcast_tree_cached(&cache, &comm, 0, BcastTopology::Hierarchical))
+    });
+    group.bench_function("allgather_ring_cold", |b| b.iter(|| coll.allgather_ring(&comm)));
+    group.bench_function("allgather_ring_cached", |b| {
+        b.iter(|| coll.allgather_ring_cached(&cache, &comm))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_distance_matrix,
+    bench_schedule_generation,
+    bench_topo_cache
+);
 criterion_main!(benches);

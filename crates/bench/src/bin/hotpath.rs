@@ -1,0 +1,197 @@
+//! Hot-path benchmark: cached vs cold topology construction and the
+//! incremental vs full rate solver, on a 32-rank communicator.
+//!
+//! Repeated collectives on one communicator are the framework's steady
+//! state: the topology never changes between calls, so the per-call edge
+//! enumeration + sort + union-find of a cold build is pure overhead. This
+//! binary quantifies what the [`pdac_core::TopoCache`] and the engine's
+//! component-scoped rate solver buy, and writes the numbers to
+//! `BENCH_hotpath.json` in the working directory.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pdac_core::adaptive::{AdaptiveColl, BcastTopology};
+use pdac_core::TopoCache;
+use pdac_hwtopo::{machines, BindingPolicy};
+use pdac_mpisim::Communicator;
+use pdac_simnet::{SimConfig, SimExecutor};
+use serde::Serialize;
+
+/// Nanoseconds per call of `f`, after a warmup.
+fn ns_per_call(iters: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters.div_ceil(10) {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+#[derive(Serialize)]
+struct ConstructionBench {
+    cold_ns_per_op: f64,
+    warm_ns_per_op: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct EngineBench {
+    schedule_ops: usize,
+    events: u64,
+    full_events_per_sec: f64,
+    incremental_events_per_sec: f64,
+    speedup: f64,
+    solver_skipped: u64,
+    solver_incremental: u64,
+    solver_full: u64,
+}
+
+#[derive(Serialize)]
+struct HotpathReport {
+    ranks: usize,
+    parallel_feature: bool,
+    bcast_tree: ConstructionBench,
+    allgather_ring: ConstructionBench,
+    engine_bcast_1m: EngineBench,
+}
+
+fn construction_bench(
+    iters: usize,
+    mut cold: impl FnMut(),
+    mut warm: impl FnMut(),
+) -> ConstructionBench {
+    let cold_ns = ns_per_call(iters, &mut cold);
+    let warm_ns = ns_per_call(iters.saturating_mul(20), &mut warm);
+    ConstructionBench {
+        cold_ns_per_op: cold_ns,
+        warm_ns_per_op: warm_ns,
+        speedup: cold_ns / warm_ns,
+    }
+}
+
+fn main() {
+    // A 32-rank two-board NUMA box with a scattered binding: every distance
+    // class is present, so the builds are not degenerate.
+    let ranks = 32;
+    let machine = Arc::new(machines::synthetic(2, 2, 8, true));
+    assert_eq!(machine.num_cores(), ranks);
+    let binding = BindingPolicy::Random { seed: 9 }.bind(&machine, ranks).unwrap();
+    let comm = Communicator::world(Arc::clone(&machine), binding.clone());
+    let coll = AdaptiveColl::default();
+    let cache = TopoCache::new();
+
+    // Prime the cache: every root's tree plus the ring.
+    for root in 0..ranks {
+        coll.bcast_tree_cached(&cache, &comm, root, BcastTopology::Hierarchical);
+    }
+    coll.allgather_ring_cached(&cache, &comm);
+
+    let root = std::cell::Cell::new(0usize);
+    let next_root = || {
+        root.set((root.get() + 1) % ranks);
+        root.get()
+    };
+    let bcast_tree = construction_bench(
+        2_000,
+        || {
+            std::hint::black_box(coll.bcast_tree(&comm, next_root(), BcastTopology::Hierarchical));
+        },
+        || {
+            std::hint::black_box(coll.bcast_tree_cached(
+                &cache,
+                &comm,
+                next_root(),
+                BcastTopology::Hierarchical,
+            ));
+        },
+    );
+    let allgather_ring = construction_bench(
+        2_000,
+        || {
+            std::hint::black_box(coll.allgather_ring(&comm));
+        },
+        || {
+            std::hint::black_box(coll.allgather_ring_cached(&cache, &comm));
+        },
+    );
+
+    // Engine: a 1 MB broadcast on the same communicator, solved with the
+    // forced full recompute vs the incremental component-scoped solver.
+    let schedule = coll.bcast_cached(&cache, &comm, 0, 1 << 20);
+    let cfg = SimConfig { allow_cache: false };
+    let events_per_sec = |full: bool| {
+        let make = || {
+            let e = SimExecutor::new(&machine, &binding, cfg);
+            if full {
+                e.with_full_rates()
+            } else {
+                e
+            }
+        };
+        let report = make().run(&schedule).unwrap();
+        let s = report.solver_stats;
+        let events = s.skipped + s.incremental + s.full;
+        let iters = 40;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(make().run(&schedule).unwrap());
+        }
+        let secs = t0.elapsed().as_secs_f64() / f64::from(iters);
+        (events as f64 / secs, events, s)
+    };
+    let (full_eps, events, _) = events_per_sec(true);
+    let (inc_eps, _, stats) = events_per_sec(false);
+
+    let report = HotpathReport {
+        ranks,
+        parallel_feature: cfg!(feature = "parallel"),
+        bcast_tree,
+        allgather_ring,
+        engine_bcast_1m: EngineBench {
+            schedule_ops: schedule.ops.len(),
+            events,
+            full_events_per_sec: full_eps,
+            incremental_events_per_sec: inc_eps,
+            speedup: inc_eps / full_eps,
+            solver_skipped: stats.skipped,
+            solver_incremental: stats.incremental,
+            solver_full: stats.full,
+        },
+    };
+
+    println!("hot-path benchmark, {ranks} ranks on {}", machine.name);
+    println!(
+        "  bcast tree   cold {:>10.0} ns/op   warm {:>8.0} ns/op   {:>6.1}x",
+        report.bcast_tree.cold_ns_per_op,
+        report.bcast_tree.warm_ns_per_op,
+        report.bcast_tree.speedup
+    );
+    println!(
+        "  allgather    cold {:>10.0} ns/op   warm {:>8.0} ns/op   {:>6.1}x",
+        report.allgather_ring.cold_ns_per_op,
+        report.allgather_ring.warm_ns_per_op,
+        report.allgather_ring.speedup
+    );
+    println!(
+        "  engine       full {:>10.0} ev/s    incr {:>8.0} ev/s    {:>6.2}x  ({} events: {} skipped / {} incremental / {} full)",
+        report.engine_bcast_1m.full_events_per_sec,
+        report.engine_bcast_1m.incremental_events_per_sec,
+        report.engine_bcast_1m.speedup,
+        report.engine_bcast_1m.events,
+        report.engine_bcast_1m.solver_skipped,
+        report.engine_bcast_1m.solver_incremental,
+        report.engine_bcast_1m.solver_full
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_hotpath.json", json).expect("write BENCH_hotpath.json");
+    println!("wrote BENCH_hotpath.json");
+
+    assert!(
+        report.bcast_tree.speedup >= 5.0 && report.allgather_ring.speedup >= 5.0,
+        "cached topology construction must be at least 5x over cold builds"
+    );
+}

@@ -14,13 +14,16 @@ use pdac_hwtopo::{Distance, DistanceMatrix};
 use pdac_mpisim::Communicator;
 use pdac_simnet::Schedule;
 
+use std::sync::Arc;
+
 use crate::allgather_ring::Ring;
-use crate::bcast_tree::build_bcast_tree;
+use crate::bcast_tree::{build_bcast_tree, build_bcast_tree_with_arena};
 use crate::sched::{allgather_schedule, bcast_schedule, SchedConfig};
+use crate::topocache::{TopoCache, TopoKey, TopoKind};
 use crate::tree::Tree;
 
 /// Topology refinement for broadcast.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BcastTopology {
     /// Full distance hierarchy (the paper's "4 sets" Zoot configuration).
     Hierarchical,
@@ -80,7 +83,7 @@ impl AdaptiveColl {
     pub fn bcast_topology_choice(&self, comm: &Communicator, bytes: usize) -> BcastTopology {
         // Collapsing only matters when several distance classes share a
         // controller, i.e. some class in 2..=3 is present.
-        let classes = comm.distances().classes();
+        let classes = comm.distances_arc().classes();
         let has_intra_mc_structure = classes.iter().any(|&c| (2..=3).contains(&c))
             && classes.first().copied() != classes.last().copied();
         if bytes > self.policy.collapse_intra_mc_above && has_intra_mc_structure {
@@ -93,11 +96,34 @@ impl AdaptiveColl {
     /// The broadcast tree the framework would use (exposed for inspection
     /// and for the Figure 8 ablation).
     pub fn bcast_tree(&self, comm: &Communicator, root: usize, topo: BcastTopology) -> Tree {
-        let dist = comm.distances();
+        let dist = comm.distances_arc();
         match topo {
             BcastTopology::Hierarchical => build_bcast_tree(&dist, root),
             BcastTopology::Collapsed => build_bcast_tree(&collapse_intra_mc(&dist), root),
         }
+    }
+
+    /// [`Self::bcast_tree`] through `cache`: a hit skips edge enumeration,
+    /// sorting and union-find entirely; a miss builds into the cache's
+    /// reusable edge arena. The returned tree is identical to what
+    /// [`Self::bcast_tree`] would build for the same communicator.
+    pub fn bcast_tree_cached(
+        &self,
+        cache: &TopoCache,
+        comm: &Communicator,
+        root: usize,
+        topo: BcastTopology,
+    ) -> Arc<Tree> {
+        let key = TopoKey { epoch: comm.epoch(), kind: TopoKind::Bcast { root, topo } };
+        cache.tree(key, |arena| {
+            let dist = comm.distances_arc();
+            match topo {
+                BcastTopology::Hierarchical => build_bcast_tree_with_arena(&dist, root, arena),
+                BcastTopology::Collapsed => {
+                    build_bcast_tree_with_arena(&collapse_intra_mc(&dist), root, arena)
+                }
+            }
+        })
     }
 
     /// Distance-aware broadcast: build the (possibly collapsed) tree and
@@ -105,7 +131,25 @@ impl AdaptiveColl {
     pub fn bcast(&self, comm: &Communicator, root: usize, bytes: usize) -> Schedule {
         let topo = self.bcast_topology_choice(comm, bytes);
         let tree = self.bcast_tree(comm, root, topo);
-        let mut s = bcast_schedule(&tree, bytes, &self.policy.sched);
+        self.bcast_schedule_named(&tree, bytes, topo)
+    }
+
+    /// [`Self::bcast`] through `cache`: repeated broadcasts on one
+    /// communicator reuse the cached tree and only recompile the schedule.
+    pub fn bcast_cached(
+        &self,
+        cache: &TopoCache,
+        comm: &Communicator,
+        root: usize,
+        bytes: usize,
+    ) -> Schedule {
+        let topo = self.bcast_topology_choice(comm, bytes);
+        let tree = self.bcast_tree_cached(cache, comm, root, topo);
+        self.bcast_schedule_named(&tree, bytes, topo)
+    }
+
+    fn bcast_schedule_named(&self, tree: &Tree, bytes: usize, topo: BcastTopology) -> Schedule {
+        let mut s = bcast_schedule(tree, bytes, &self.policy.sched);
         s.name = format!(
             "knemcoll-bcast/{}",
             match topo {
@@ -131,7 +175,14 @@ impl AdaptiveColl {
 
     /// The allgather ring the framework would use.
     pub fn allgather_ring(&self, comm: &Communicator) -> Ring {
-        Ring::build(&comm.distances())
+        Ring::build(&comm.distances_arc())
+    }
+
+    /// [`Self::allgather_ring`] through `cache`: a hit skips construction
+    /// entirely; the ring is identical to a fresh build.
+    pub fn allgather_ring_cached(&self, cache: &TopoCache, comm: &Communicator) -> Arc<Ring> {
+        let key = TopoKey { epoch: comm.epoch(), kind: TopoKind::AllgatherRing };
+        cache.ring(key, |arena| Ring::build_with_arena(&comm.distances_arc(), arena))
     }
 
     /// Distance-aware allgather (Algorithm 2 + §IV-C execution).
@@ -141,12 +192,26 @@ impl AdaptiveColl {
         s.name = "knemcoll-allgather".into();
         s
     }
+
+    /// [`Self::allgather`] through `cache`: repeated allgathers on one
+    /// communicator reuse the cached ring and only recompile the schedule.
+    pub fn allgather_cached(
+        &self,
+        cache: &TopoCache,
+        comm: &Communicator,
+        block_bytes: usize,
+    ) -> Schedule {
+        let ring = self.allgather_ring_cached(cache, comm);
+        let mut s = allgather_schedule(&ring, block_bytes);
+        s.name = "knemcoll-allgather".into();
+        s
+    }
 }
 
 /// Largest distance class present in a communicator — handy for callers
 /// deciding whether distance-awareness can matter at all.
 pub fn max_distance(comm: &Communicator) -> Distance {
-    comm.distances().max()
+    comm.distances_arc().max()
 }
 
 #[cfg(test)]
@@ -219,6 +284,44 @@ mod tests {
         assert!(coll.bcast(&c, 0, 1 << 20).name.contains("linearized"));
         assert!(coll.bcast(&c, 0, 1 << 10).name.contains("hier"));
         assert_eq!(coll.allgather(&c, 64).name, "knemcoll-allgather");
+    }
+
+    #[test]
+    fn cached_topologies_match_fresh_builds() {
+        let cache = TopoCache::new();
+        let coll = AdaptiveColl::default();
+        for machine in machines::all_predefined() {
+            let c = comm(machine.clone(), BindingPolicy::Random { seed: 13 });
+            for topo in [BcastTopology::Hierarchical, BcastTopology::Collapsed] {
+                let cached = coll.bcast_tree_cached(&cache, &c, 0, topo);
+                assert_eq!(*cached, coll.bcast_tree(&c, 0, topo), "{}", machine.name);
+                let again = coll.bcast_tree_cached(&cache, &c, 0, topo);
+                assert!(Arc::ptr_eq(&cached, &again), "second call hits");
+            }
+            let ring = coll.allgather_ring_cached(&cache, &c);
+            assert_eq!(*ring, coll.allgather_ring(&c), "{}", machine.name);
+            let ring_again = coll.allgather_ring_cached(&cache, &c);
+            assert!(Arc::ptr_eq(&ring, &ring_again), "second call hits");
+        }
+        let s = cache.stats();
+        assert_eq!(s.hits, s.misses, "every entry was built once and hit once");
+    }
+
+    #[test]
+    fn cached_schedules_equal_uncached() {
+        let cache = TopoCache::new();
+        let coll = AdaptiveColl::default();
+        let c = comm(machines::ig(), BindingPolicy::CrossSocket);
+        for bytes in [1 << 10, 1 << 20] {
+            assert_eq!(coll.bcast_cached(&cache, &c, 0, bytes), coll.bcast(&c, 0, bytes));
+        }
+        assert_eq!(coll.allgather_cached(&cache, &c, 4096), coll.allgather(&c, 4096));
+        // dup shares the epoch, so its calls hit; a subset misses.
+        let before = cache.stats();
+        coll.bcast_cached(&cache, &c.dup(), 0, 1 << 10);
+        assert_eq!(cache.stats().hits, before.hits + 1);
+        coll.bcast_cached(&cache, &c.subset(&(0..8).collect::<Vec<_>>()), 0, 1 << 10);
+        assert_eq!(cache.stats().misses, before.misses + 1);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use pdac_hwtopo::{Distance, DistanceMatrix};
 
-use crate::edges::{ring_edge_order, Edge};
+use crate::edges::{ring_edge_order_into, Edge};
 use crate::unionfind::DisjointSets;
 
 /// A Hamiltonian cycle over ranks, normalized to start at rank 0 and to
@@ -51,17 +51,27 @@ impl Ring {
 
     /// Runs Algorithm 2 on the distance matrix.
     pub fn build(dist: &DistanceMatrix) -> Ring {
+        let mut arena = Vec::new();
+        Ring::build_with_arena(dist, &mut arena)
+    }
+
+    /// [`Ring::build`] with a caller-owned edge arena: the sorted edge
+    /// queue is materialized into `arena` (cleared and refilled) so
+    /// repeated constructions reuse one allocation. Produces a ring
+    /// identical to [`Ring::build`].
+    pub fn build_with_arena(dist: &DistanceMatrix, arena: &mut Vec<Edge>) -> Ring {
         let n = dist.num_ranks();
         assert!(n >= 1, "ring needs at least one rank");
         if n == 1 {
             return Ring { order: vec![0], position: vec![0] };
         }
 
+        ring_edge_order_into(dist, arena);
         let mut sets = DisjointSets::new(n, None);
         let mut degree = vec![0u8; n];
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut accepted = 0usize;
-        for Edge { u, v, .. } in ring_edge_order(dist) {
+        for &Edge { u, v, .. } in arena.iter() {
             if accepted == n - 1 {
                 break;
             }

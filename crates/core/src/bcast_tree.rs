@@ -71,6 +71,37 @@ pub fn build_bcast_tree(dist: &DistanceMatrix, root: usize) -> Tree {
     build_bcast_tree_traced(dist, root).0
 }
 
+/// [`build_bcast_tree`] with a caller-owned edge arena: the sorted edge
+/// queue is materialized into `arena` (cleared and refilled), so repeated
+/// constructions — e.g. a topology cache refilling after invalidation —
+/// reuse one allocation instead of re-allocating `n(n-1)/2` edges per call.
+/// Produces a tree identical to [`build_bcast_tree`].
+pub fn build_bcast_tree_with_arena(
+    dist: &DistanceMatrix,
+    root: usize,
+    arena: &mut Vec<Edge>,
+) -> Tree {
+    let n = dist.num_ranks();
+    assert!(root < n, "root {root} out of range for {n} ranks");
+    if n == 1 {
+        return Tree { root, parent: vec![None], children: vec![vec![]] };
+    }
+
+    crate::edges::bcast_edge_order_into(dist, root, arena);
+    let mut sets = DisjointSets::new(n, Some(root));
+    let mut accepted: Vec<Edge> = Vec::with_capacity(n - 1);
+    for &edge in arena.iter() {
+        if accepted.len() == n - 1 {
+            break;
+        }
+        if sets.leader_of(edge.u) != sets.leader_of(edge.v) {
+            sets.union(edge.u, edge.v);
+            accepted.push(edge);
+        }
+    }
+    Tree::from_edges(n, root, &accepted)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

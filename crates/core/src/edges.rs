@@ -47,20 +47,35 @@ impl Edge {
 
 /// All `n(n-1)/2` edges of the complete rank graph, unsorted.
 pub fn all_edges(dist: &DistanceMatrix) -> Vec<Edge> {
+    let mut edges = Vec::new();
+    all_edges_into(dist, &mut edges);
+    edges
+}
+
+/// [`all_edges`] into a caller-owned arena: the vector is cleared and
+/// refilled, so repeated topology constructions reuse one allocation.
+pub fn all_edges_into(dist: &DistanceMatrix, edges: &mut Vec<Edge>) {
     let n = dist.num_ranks();
-    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    edges.clear();
+    edges.reserve(n * (n - 1) / 2);
     for u in 0..n {
         for v in (u + 1)..n {
             edges.push(Edge { u, v, w: dist.get(u, v) });
         }
     }
-    edges
 }
 
 /// Edges in Algorithm 1's queue order for broadcast from `root`.
 pub fn bcast_edge_order(dist: &DistanceMatrix, root: usize) -> Vec<Edge> {
-    let mut edges = all_edges(dist);
-    edges.sort_by_key(|e| {
+    let mut edges = Vec::new();
+    bcast_edge_order_into(dist, root, &mut edges);
+    edges
+}
+
+/// [`bcast_edge_order`] into a caller-owned arena (cleared and refilled).
+pub fn bcast_edge_order_into(dist: &DistanceMatrix, root: usize, edges: &mut Vec<Edge>) {
+    all_edges_into(dist, edges);
+    sort_edges_by_key(edges, |e| {
         if e.covers(root) {
             // Root-covering edges lead their weight class, ordered by the
             // non-root endpoint's rank.
@@ -69,14 +84,80 @@ pub fn bcast_edge_order(dist: &DistanceMatrix, root: usize) -> Vec<Edge> {
             (e.w, 1usize, e.u, e.v)
         }
     });
-    edges
 }
 
 /// Edges in Algorithm 2's queue order (weight, then ranks).
 pub fn ring_edge_order(dist: &DistanceMatrix) -> Vec<Edge> {
-    let mut edges = all_edges(dist);
-    edges.sort_by_key(|e| (e.w, e.u, e.v));
+    let mut edges = Vec::new();
+    ring_edge_order_into(dist, &mut edges);
     edges
+}
+
+/// [`ring_edge_order`] into a caller-owned arena (cleared and refilled).
+pub fn ring_edge_order_into(dist: &DistanceMatrix, edges: &mut Vec<Edge>) {
+    all_edges_into(dist, edges);
+    sort_edges_by_key(edges, |e| (e.w, e.u, e.v));
+}
+
+/// Edge count above which the parallel build splits the sort across
+/// threads (≈ 256 ranks' worth of edges — below that, thread spawn
+/// overhead dominates).
+#[cfg(feature = "parallel")]
+const PAR_SORT_MIN_EDGES: usize = 32 * 1024;
+
+#[cfg(not(feature = "parallel"))]
+fn sort_edges_by_key<K: Ord>(edges: &mut [Edge], key: impl Fn(&Edge) -> K) {
+    edges.sort_by_key(key);
+}
+
+/// Stable sort via per-chunk sorts on scoped threads followed by a serial
+/// k-way merge. The key function is evaluated per comparison, exactly like
+/// the serial path, so the ordering (and therefore every downstream
+/// topology) is bit-identical to the serial build.
+#[cfg(feature = "parallel")]
+fn sort_edges_by_key<K: Ord>(edges: &mut [Edge], key: impl Fn(&Edge) -> K + Sync) {
+    let len = edges.len();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if len < PAR_SORT_MIN_EDGES || threads < 2 {
+        edges.sort_by_key(key);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for part in edges.chunks_mut(chunk) {
+            scope.spawn(|| part.sort_by(|a, b| key(a).cmp(&key(b))));
+        }
+    });
+    // Merge the sorted runs pairwise until one remains; merging is stable
+    // left-to-right, matching what a single stable sort would produce.
+    let mut width = chunk;
+    let mut scratch: Vec<Edge> = Vec::with_capacity(len);
+    while width < len {
+        let mut start = 0;
+        while start + width < len {
+            let mid = start + width;
+            let end = (mid + width).min(len);
+            scratch.clear();
+            {
+                let (left, right) = (&edges[start..mid], &edges[mid..end]);
+                let (mut i, mut j) = (0, 0);
+                while i < left.len() && j < right.len() {
+                    if key(&right[j]) < key(&left[i]) {
+                        scratch.push(right[j]);
+                        j += 1;
+                    } else {
+                        scratch.push(left[i]);
+                        i += 1;
+                    }
+                }
+                scratch.extend_from_slice(&left[i..]);
+                scratch.extend_from_slice(&right[j..]);
+            }
+            edges[start..end].copy_from_slice(&scratch);
+            start = end;
+        }
+        width *= 2;
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +219,44 @@ mod tests {
                 "strictly increasing keys"
             );
         }
+    }
+
+    #[test]
+    fn arena_variants_match_allocating_variants() {
+        let d = zoot_matrix();
+        let mut arena = Vec::new();
+        bcast_edge_order_into(&d, 5, &mut arena);
+        assert_eq!(arena, bcast_edge_order(&d, 5));
+        // The arena is cleared and refilled, not appended to.
+        ring_edge_order_into(&d, &mut arena);
+        assert_eq!(arena, ring_edge_order(&d));
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_sort_matches_serial_order() {
+        // 288 ranks → 41328 edges, above PAR_SORT_MIN_EDGES, so this
+        // exercises the chunked sort + merge path. The reference is a
+        // plain single-threaded stable sort with the same keys.
+        let m = machines::synthetic(4, 4, 18, true);
+        let b = BindingPolicy::Random { seed: 7 }.bind(&m, 288).unwrap();
+        let d = DistanceMatrix::for_binding(&m, &b);
+        assert!(all_edges(&d).len() > super::PAR_SORT_MIN_EDGES);
+
+        let root = 3;
+        let mut reference = all_edges(&d);
+        reference.sort_by_key(|e| {
+            if e.covers(root) {
+                (e.w, 0usize, e.other(root), usize::MAX)
+            } else {
+                (e.w, 1usize, e.u, e.v)
+            }
+        });
+        assert_eq!(bcast_edge_order(&d, root), reference);
+
+        let mut reference = all_edges(&d);
+        reference.sort_by_key(|e| (e.w, e.u, e.v));
+        assert_eq!(ring_edge_order(&d), reference);
     }
 
     #[test]

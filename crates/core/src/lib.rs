@@ -53,6 +53,7 @@ pub mod reduce;
 pub mod reduce_scatter;
 pub mod scatter;
 pub mod sched;
+pub mod topocache;
 pub mod tree;
 pub mod unionfind;
 pub mod verify;
@@ -61,5 +62,6 @@ pub use adaptive::{AdaptiveColl, AdaptivePolicy};
 pub use allgather_ring::Ring;
 pub use bcast_tree::build_bcast_tree;
 pub use edges::{bcast_edge_order, ring_edge_order, Edge};
+pub use topocache::{TopoCache, TopoCacheStats, TopoKey, TopoKind};
 pub use tree::Tree;
 pub use unionfind::DisjointSets;

@@ -1,0 +1,316 @@
+//! Per-communicator topology cache.
+//!
+//! Building a collective topology costs the full Kruskal pipeline: enumerate
+//! `n(n-1)/2` edges, sort them into the paper's queue order, and run the
+//! union-find acceptance loop. Production MPI calls the same collective on
+//! the same communicator thousands of times, so the framework memoizes
+//! built topologies keyed by
+//! `(communicator epoch, collective, root, policy bucket)`:
+//!
+//! * the **epoch** ([`pdac_mpisim::Communicator::epoch`]) changes exactly
+//!   when a communicator's (machine, binding) group changes — `dup` keeps
+//!   it, `subset`/`split` mint a fresh one — so epoch equality implies the
+//!   distance matrix is identical and any cached topology is valid;
+//! * the **policy bucket** is the broadcast refinement
+//!   ([`BcastTopology`]): hierarchical and collapsed trees are distinct
+//!   entries even for one root.
+//!
+//! Entries are `Arc`-shared and immutable, so a hit costs one lock + hash
+//! lookup + refcount bump and skips `edges.rs` and `unionfind.rs` entirely.
+//! Misses build inside the cache lock using a reusable sorted-edge arena,
+//! so steady-state construction performs no edge-queue allocation either.
+//! Capacity is bounded; FIFO eviction keeps the common
+//! few-communicators-many-calls workload entirely resident. Rebinding
+//! (dropping a communicator for a re-split one) is handled by
+//! [`TopoCache::invalidate_epoch`], or simply by eviction, since a dead
+//! epoch can never be requested again.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use crate::adaptive::BcastTopology;
+use crate::allgather_ring::Ring;
+use crate::edges::Edge;
+use crate::tree::Tree;
+
+/// Which collective topology an entry holds, including the per-collective
+/// parameters it was built with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopoKind {
+    /// Broadcast tree from `root` under the given refinement.
+    Bcast {
+        /// The broadcast root rank.
+        root: usize,
+        /// The policy bucket (hierarchical vs collapsed).
+        topo: BcastTopology,
+    },
+    /// The allgather ring (rootless, no policy bucket).
+    AllgatherRing,
+}
+
+/// Full cache key: communicator group identity plus collective parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TopoKey {
+    /// Communicator epoch ([`pdac_mpisim::Communicator::epoch`]).
+    pub epoch: u64,
+    /// Collective and its parameters.
+    pub kind: TopoKind,
+}
+
+/// A cached, immutable, shared topology.
+#[derive(Debug, Clone)]
+enum CachedTopo {
+    Tree(Arc<Tree>),
+    Ring(Arc<Ring>),
+}
+
+/// Counters for observing cache behaviour (and asserting it in tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TopoCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Entries dropped by capacity eviction.
+    pub evictions: u64,
+    /// Entries dropped by [`TopoCache::invalidate_epoch`].
+    pub invalidations: u64,
+}
+
+struct Inner {
+    map: HashMap<TopoKey, CachedTopo>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<TopoKey>,
+    capacity: usize,
+    /// Reusable sorted-edge arena handed to builders on a miss.
+    arena: Vec<Edge>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+/// Memoizes built collective topologies per communicator epoch. See the
+/// module docs for the keying and invalidation contract.
+pub struct TopoCache {
+    inner: Mutex<Inner>,
+}
+
+impl Default for TopoCache {
+    fn default() -> Self {
+        TopoCache::new()
+    }
+}
+
+impl std::fmt::Debug for TopoCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopoCache").field("stats", &self.stats()).finish()
+    }
+}
+
+impl TopoCache {
+    /// Cache with the default capacity (plenty for a handful of live
+    /// communicators × roots × policy buckets).
+    pub fn new() -> Self {
+        TopoCache::with_capacity(256)
+    }
+
+    /// Cache holding at most `capacity` topologies (FIFO eviction).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "topology cache needs capacity >= 1");
+        TopoCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                capacity,
+                arena: Vec::new(),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                invalidations: 0,
+            }),
+        }
+    }
+
+    /// The broadcast tree for `key`, built by `build` on a miss. `build`
+    /// receives the cache's reusable edge arena.
+    ///
+    /// # Panics
+    /// Panics if `key` names an allgather ring.
+    pub fn tree(
+        &self,
+        key: TopoKey,
+        build: impl FnOnce(&mut Vec<Edge>) -> Tree,
+    ) -> Arc<Tree> {
+        assert!(
+            matches!(key.kind, TopoKind::Bcast { .. }),
+            "tree lookup with non-tree key {key:?}"
+        );
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(CachedTopo::Tree(t)) = inner.map.get(&key) {
+            let t = Arc::clone(t);
+            inner.hits += 1;
+            return t;
+        }
+        inner.misses += 1;
+        let mut arena = std::mem::take(&mut inner.arena);
+        let tree = Arc::new(build(&mut arena));
+        inner.arena = arena;
+        inner.insert(key, CachedTopo::Tree(Arc::clone(&tree)));
+        tree
+    }
+
+    /// The allgather ring for `key`, built by `build` on a miss. `build`
+    /// receives the cache's reusable edge arena.
+    ///
+    /// # Panics
+    /// Panics if `key` names a broadcast tree.
+    pub fn ring(
+        &self,
+        key: TopoKey,
+        build: impl FnOnce(&mut Vec<Edge>) -> Ring,
+    ) -> Arc<Ring> {
+        assert!(
+            matches!(key.kind, TopoKind::AllgatherRing),
+            "ring lookup with non-ring key {key:?}"
+        );
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(CachedTopo::Ring(r)) = inner.map.get(&key) {
+            let r = Arc::clone(r);
+            inner.hits += 1;
+            return r;
+        }
+        inner.misses += 1;
+        let mut arena = std::mem::take(&mut inner.arena);
+        let ring = Arc::new(build(&mut arena));
+        inner.arena = arena;
+        inner.insert(key, CachedTopo::Ring(Arc::clone(&ring)));
+        ring
+    }
+
+    /// Drops every entry of `epoch` (a communicator was rebound or freed).
+    /// Returns the number of entries removed.
+    pub fn invalidate_epoch(&self, epoch: u64) -> usize {
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let before = inner.map.len();
+        inner.map.retain(|k, _| k.epoch != epoch);
+        inner.order.retain(|k| k.epoch != epoch);
+        let removed = before - inner.map.len();
+        inner.invalidations += removed as u64;
+        removed
+    }
+
+    /// Drops every entry (arena and counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let removed = inner.map.len();
+        inner.map.clear();
+        inner.order.clear();
+        inner.invalidations += removed as u64;
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> TopoCacheStats {
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        TopoCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.map.len(),
+            evictions: inner.evictions,
+            invalidations: inner.invalidations,
+        }
+    }
+}
+
+impl Inner {
+    fn insert(&mut self, key: TopoKey, value: CachedTopo) {
+        if self.map.insert(key, value).is_none() {
+            self.order.push_back(key);
+        }
+        while self.map.len() > self.capacity {
+            let oldest = self.order.pop_front().expect("order tracks map");
+            self.map.remove(&oldest);
+            self.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcast_tree::build_bcast_tree_with_arena;
+    use pdac_hwtopo::{machines, BindingPolicy, DistanceMatrix};
+
+    fn matrix() -> DistanceMatrix {
+        let ig = machines::ig();
+        let b = BindingPolicy::Contiguous.bind(&ig, 48).unwrap();
+        DistanceMatrix::for_binding(&ig, &b)
+    }
+
+    fn key(epoch: u64, root: usize) -> TopoKey {
+        TopoKey { epoch, kind: TopoKind::Bcast { root, topo: BcastTopology::Hierarchical } }
+    }
+
+    #[test]
+    fn hit_returns_same_allocation() {
+        let cache = TopoCache::new();
+        let dist = matrix();
+        let a = cache.tree(key(1, 0), |ar| build_bcast_tree_with_arena(&dist, 0, ar));
+        let b = cache.tree(key(1, 0), |_| unreachable!("second lookup must hit"));
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct_entries() {
+        let cache = TopoCache::new();
+        let dist = matrix();
+        cache.tree(key(1, 0), |ar| build_bcast_tree_with_arena(&dist, 0, ar));
+        cache.tree(key(1, 1), |ar| build_bcast_tree_with_arena(&dist, 1, ar));
+        cache.tree(key(2, 0), |ar| build_bcast_tree_with_arena(&dist, 0, ar));
+        let collapsed =
+            TopoKey { epoch: 1, kind: TopoKind::Bcast { root: 0, topo: BcastTopology::Collapsed } };
+        cache.tree(collapsed, |ar| build_bcast_tree_with_arena(&dist, 0, ar));
+        assert_eq!(cache.stats().entries, 4);
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn invalidate_epoch_only_touches_that_epoch() {
+        let cache = TopoCache::new();
+        let dist = matrix();
+        cache.tree(key(1, 0), |ar| build_bcast_tree_with_arena(&dist, 0, ar));
+        cache.tree(key(2, 0), |ar| build_bcast_tree_with_arena(&dist, 0, ar));
+        assert_eq!(cache.invalidate_epoch(1), 1);
+        assert_eq!(cache.stats().entries, 1);
+        // Epoch 2 still hits; epoch 1 rebuilds.
+        cache.tree(key(2, 0), |_| unreachable!("epoch 2 survives invalidation"));
+        cache.tree(key(1, 0), |ar| build_bcast_tree_with_arena(&dist, 0, ar));
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let cache = TopoCache::with_capacity(2);
+        let dist = matrix();
+        for root in 0..3 {
+            cache.tree(key(1, root), |ar| build_bcast_tree_with_arena(&dist, root, ar));
+        }
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 1);
+        // Oldest (root 0) was evicted; root 2 still resident.
+        cache.tree(key(1, 2), |_| unreachable!("newest entry resident"));
+        cache.tree(key(1, 0), |ar| build_bcast_tree_with_arena(&dist, 0, ar));
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-ring key")]
+    fn ring_lookup_rejects_tree_key() {
+        TopoCache::new().ring(key(1, 0), |_| unreachable!());
+    }
+}

@@ -141,6 +141,39 @@ proptest! {
     }
 
     #[test]
+    fn cached_topologies_are_byte_identical_to_fresh_builds(
+        machine in arb_machine(),
+        seed in any::<u64>(),
+        root_raw in any::<usize>(),
+    ) {
+        use pdac_core::adaptive::{AdaptiveColl, BcastTopology};
+        use pdac_core::TopoCache;
+        use pdac_mpisim::Communicator;
+        use std::sync::Arc;
+
+        let n = machine.num_cores();
+        let binding = BindingPolicy::Random { seed }.bind(&machine, n).unwrap();
+        let comm = Communicator::world(Arc::new(machine), binding);
+        let root = root_raw % n;
+        let coll = AdaptiveColl::default();
+        let cache = TopoCache::new();
+
+        for topo in [BcastTopology::Hierarchical, BcastTopology::Collapsed] {
+            let fresh = coll.bcast_tree(&comm, root, topo);
+            let cold = coll.bcast_tree_cached(&cache, &comm, root, topo);
+            let warm = coll.bcast_tree_cached(&cache, &comm, root, topo);
+            prop_assert_eq!(&fresh, &*cold, "cached tree differs from fresh build");
+            prop_assert!(Arc::ptr_eq(&cold, &warm), "repeat lookup must hit");
+        }
+
+        let fresh = coll.allgather_ring(&comm);
+        let cold = coll.allgather_ring_cached(&cache, &comm);
+        let warm = coll.allgather_ring_cached(&cache, &comm);
+        prop_assert_eq!(&fresh, &*cold, "cached ring differs from fresh build");
+        prop_assert!(Arc::ptr_eq(&cold, &warm), "repeat lookup must hit");
+    }
+
+    #[test]
     fn tree_shape_is_placement_invariant(
         machine in arb_machine(),
         seed_a in any::<u64>(),

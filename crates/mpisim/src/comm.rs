@@ -7,9 +7,19 @@
 //! distance-aware framework consumes: the machine, and the rank → core
 //! binding *as seen by this communicator*.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use pdac_hwtopo::{Binding, CoreId, DistanceMatrix, Machine};
+
+/// Global epoch counter: every distinct (machine, binding) group gets a
+/// fresh epoch, so epoch equality implies group equality and downstream
+/// topology caches can key on it instead of hashing whole bindings.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A group of ranks bound to cores of one machine.
 #[derive(Debug, Clone)]
@@ -17,12 +27,20 @@ pub struct Communicator {
     machine: Arc<Machine>,
     binding: Binding,
     name: String,
+    epoch: u64,
+    dist: OnceLock<Arc<DistanceMatrix>>,
 }
 
 impl Communicator {
     /// The world communicator: all ranks of `binding` in order.
     pub fn world(machine: Arc<Machine>, binding: Binding) -> Self {
-        Communicator { machine, binding, name: "world".into() }
+        Communicator {
+            machine,
+            binding,
+            name: "world".into(),
+            epoch: fresh_epoch(),
+            dist: OnceLock::new(),
+        }
     }
 
     /// Number of ranks.
@@ -55,18 +73,43 @@ impl Communicator {
         &self.name
     }
 
-    /// Distance matrix between this communicator's ranks — the input of the
-    /// distance-aware topology constructions.
-    pub fn distances(&self) -> DistanceMatrix {
-        DistanceMatrix::for_binding(&self.machine, &self.binding)
+    /// Group identity: changes exactly when the (machine, binding) group
+    /// changes. `dup` keeps the epoch (same group, new name); `subset` and
+    /// `split` rebind ranks and therefore mint a new one. Topology caches
+    /// key on this instead of hashing the binding.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
-    /// `MPI_Comm_dup`: same group, new name.
+    /// Distance matrix between this communicator's ranks — the input of the
+    /// distance-aware topology constructions. Returns an owned copy; hot
+    /// paths should prefer [`Self::distances_arc`], which shares the
+    /// communicator's lazily built matrix instead of cloning it.
+    pub fn distances(&self) -> DistanceMatrix {
+        (*self.distances_arc()).clone()
+    }
+
+    /// Shared handle to this communicator's distance matrix. The matrix is
+    /// computed once per communicator (O(n²)) and reused by every
+    /// subsequent collective call; `dup` shares the already-built matrix
+    /// with its parent.
+    pub fn distances_arc(&self) -> Arc<DistanceMatrix> {
+        Arc::clone(
+            self.dist
+                .get_or_init(|| Arc::new(DistanceMatrix::for_binding(&self.machine, &self.binding))),
+        )
+    }
+
+    /// `MPI_Comm_dup`: same group, new name. Shares the parent's epoch and
+    /// cached distance matrix — the group is unchanged, so cached
+    /// topologies remain valid for the duplicate.
     pub fn dup(&self) -> Self {
         Communicator {
             machine: Arc::clone(&self.machine),
             binding: self.binding.clone(),
             name: format!("{}.dup", self.name),
+            epoch: self.epoch,
+            dist: self.dist.clone(),
         }
     }
 
@@ -86,6 +129,8 @@ impl Communicator {
             machine: Arc::clone(&self.machine),
             binding: self.binding.subset(ranks),
             name: format!("{}.subset", self.name),
+            epoch: fresh_epoch(),
+            dist: OnceLock::new(),
         }
     }
 
@@ -133,6 +178,32 @@ mod tests {
         assert_eq!(d.size(), w.size());
         assert_eq!(d.binding(), w.binding());
         assert_ne!(d.name(), w.name());
+    }
+
+    #[test]
+    fn epochs_track_group_identity() {
+        let w = world();
+        assert_eq!(w.dup().epoch(), w.epoch(), "same group, same epoch");
+        assert_ne!(w.subset(&[0, 1]).epoch(), w.epoch(), "rebinding mints a new epoch");
+        let groups = w.split(|r| (r % 2) as i64, |r| r as i64);
+        for g in &groups {
+            assert_ne!(g.epoch(), w.epoch());
+        }
+        assert_ne!(groups[0].epoch(), groups[1].epoch());
+        assert_ne!(world().epoch(), w.epoch(), "fresh worlds are distinct groups");
+    }
+
+    #[test]
+    fn distances_arc_is_cached_and_matches_fresh_build() {
+        let w = world();
+        let a = w.distances_arc();
+        let b = w.distances_arc();
+        assert!(Arc::ptr_eq(&a, &b), "second call reuses the built matrix");
+        assert_eq!(*a, DistanceMatrix::for_binding(w.machine(), w.binding()));
+        // dup shares the parent's cache; subset rebuilds for its own group.
+        assert!(Arc::ptr_eq(&w.dup().distances_arc(), &a));
+        let s = w.subset(&[47, 0, 6]);
+        assert_eq!(s.distances_arc().num_ranks(), 3);
     }
 
     #[test]

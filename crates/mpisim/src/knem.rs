@@ -76,6 +76,10 @@ pub struct KnemStats {
     pub copies: u64,
     /// Bytes moved by single-copy operations.
     pub bytes_copied: u64,
+    /// Cookie-table lock acquisitions — the contention observable. With
+    /// the sharded table this counts per-shard acquisitions; concurrent
+    /// ranks holding different cookies no longer serialize on one lock.
+    pub lock_acquires: u64,
 }
 
 /// Copy failures injected after a budget of successful operations — the
@@ -88,12 +92,29 @@ pub struct FaultPlan {
     pub fail_after_copies: u64,
 }
 
+/// Number of cookie-table shards. Cookies are dealt to shards round-robin
+/// (sequential ids land on distinct shards), so concurrent collectives
+/// touching different regions rarely contend on the same lock.
+const COOKIE_SHARDS: usize = 16;
+
 /// The simulated device. Thread-safe: ranks register and pull concurrently.
+///
+/// The cookie table is sharded: each cookie id maps to one of
+/// [`COOKIE_SHARDS`] independently locked hash maps, and the usage counters
+/// are atomics, so the only serialization left is between operations on
+/// cookies of the same shard.
 #[derive(Debug, Default)]
 pub struct KnemDevice {
-    regions: Mutex<HashMap<u64, Region>>,
+    shards: [Mutex<HashMap<u64, Region>>; COOKIE_SHARDS],
     next: AtomicU64,
-    stats: Mutex<KnemStats>,
+    registrations: AtomicU64,
+    deregistrations: AtomicU64,
+    copies: AtomicU64,
+    /// Copy attempts, counted only for fault budgeting (an injected
+    /// failure consumes an attempt but is not a performed copy).
+    copy_attempts: AtomicU64,
+    bytes_copied: AtomicU64,
+    lock_acquires: AtomicU64,
     fault: Option<FaultPlan>,
 }
 
@@ -108,12 +129,19 @@ impl KnemDevice {
         KnemDevice { fault: Some(plan), ..Default::default() }
     }
 
+    /// The shard owning cookie `id`, counting the acquisition the caller
+    /// is about to perform.
+    fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Region>> {
+        self.lock_acquires.fetch_add(1, Ordering::Relaxed);
+        &self.shards[(id as usize) % COOKIE_SHARDS]
+    }
+
     /// Registers `len` bytes at `offset` of `(rank, buf)`; returns the
     /// cookie a peer needs to pull from the region.
     pub fn register(&self, rank: Rank, buf: BufId, offset: usize, len: usize) -> Cookie {
         let id = self.next.fetch_add(1, Ordering::Relaxed);
-        self.regions.lock().insert(id, Region { rank, buf, offset, len });
-        self.stats.lock().registrations += 1;
+        self.shard(id).lock().insert(id, Region { rank, buf, offset, len });
+        self.registrations.fetch_add(1, Ordering::Relaxed);
         Cookie(id)
     }
 
@@ -126,30 +154,33 @@ impl KnemDevice {
         offset: usize,
         len: usize,
     ) -> Result<(Rank, BufId, usize), KnemError> {
-        let regions = self.regions.lock();
-        let region = regions.get(&cookie.0).copied().ok_or(KnemError::BadCookie(cookie))?;
-        drop(regions);
+        let region = self
+            .shard(cookie.0)
+            .lock()
+            .get(&cookie.0)
+            .copied()
+            .ok_or(KnemError::BadCookie(cookie))?;
         if offset + len > region.len {
             return Err(KnemError::OutOfRegion { cookie, offset, len, region_len: region.len });
         }
-        let mut stats = self.stats.lock();
         if let Some(plan) = self.fault {
-            if stats.copies >= plan.fail_after_copies {
+            let attempt = self.copy_attempts.fetch_add(1, Ordering::Relaxed);
+            if attempt >= plan.fail_after_copies {
                 // Report the injected fault as a dead cookie (what a torn
                 // down region looks like to the caller).
                 return Err(KnemError::BadCookie(cookie));
             }
         }
-        stats.copies += 1;
-        stats.bytes_copied += len as u64;
+        self.copies.fetch_add(1, Ordering::Relaxed);
+        self.bytes_copied.fetch_add(len as u64, Ordering::Relaxed);
         Ok((region.rank, region.buf, region.offset + offset))
     }
 
     /// Removes a registration; later pulls with the cookie fail.
     pub fn deregister(&self, cookie: Cookie) -> Result<(), KnemError> {
-        match self.regions.lock().remove(&cookie.0) {
+        match self.shard(cookie.0).lock().remove(&cookie.0) {
             Some(_) => {
-                self.stats.lock().deregistrations += 1;
+                self.deregistrations.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
             None => Err(KnemError::BadCookie(cookie)),
@@ -158,12 +189,24 @@ impl KnemDevice {
 
     /// Current counters.
     pub fn stats(&self) -> KnemStats {
-        *self.stats.lock()
+        KnemStats {
+            registrations: self.registrations.load(Ordering::Relaxed),
+            deregistrations: self.deregistrations.load(Ordering::Relaxed),
+            copies: self.copies.load(Ordering::Relaxed),
+            bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
+            lock_acquires: self.lock_acquires.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of live registrations.
     pub fn live_regions(&self) -> usize {
-        self.regions.lock().len()
+        self.shards
+            .iter()
+            .map(|s| {
+                self.lock_acquires.fetch_add(1, Ordering::Relaxed);
+                s.lock().len()
+            })
+            .sum()
     }
 }
 
@@ -202,6 +245,26 @@ mod tests {
         let c = dev.register(0, BufId::Send, 0, 8);
         dev.deregister(c).unwrap();
         assert_eq!(dev.deregister(c), Err(KnemError::BadCookie(c)));
+    }
+
+    #[test]
+    fn lock_acquisitions_are_counted_and_sharded() {
+        let dev = KnemDevice::new();
+        let cookies: Vec<Cookie> =
+            (0..COOKIE_SHARDS).map(|i| dev.register(0, BufId::Send, i, 8)).collect();
+        // One shard-lock acquisition per register.
+        assert_eq!(dev.stats().lock_acquires, COOKIE_SHARDS as u64);
+        // Sequential cookie ids are dealt round-robin onto distinct shards.
+        let shards: std::collections::HashSet<usize> =
+            cookies.iter().map(|c| (c.0 as usize) % COOKIE_SHARDS).collect();
+        assert_eq!(shards.len(), COOKIE_SHARDS);
+        for c in &cookies {
+            dev.copy_from(*c, 0, 8).unwrap();
+        }
+        assert_eq!(dev.stats().lock_acquires, 2 * COOKIE_SHARDS as u64);
+        // A live-region sweep visits every shard once.
+        assert_eq!(dev.live_regions(), COOKIE_SHARDS);
+        assert_eq!(dev.stats().lock_acquires, 3 * COOKIE_SHARDS as u64);
     }
 
     #[test]

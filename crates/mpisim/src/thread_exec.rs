@@ -62,6 +62,18 @@ impl ExecResult {
     pub fn buffer(&self, rank: Rank, buf: BufId) -> &[u8] {
         self.buffers.get(&(rank, buf)).map(Vec::as_slice).unwrap_or(&[])
     }
+
+    /// Moves one buffer out of the result without copying (empty vector if
+    /// absent). Callers that keep the payload — verification oracles,
+    /// benchmark harnesses — take ownership instead of cloning a view.
+    pub fn take_buffer(&mut self, rank: Rank, buf: BufId) -> Vec<u8> {
+        self.buffers.remove(&(rank, buf)).unwrap_or_default()
+    }
+
+    /// Consumes the result, returning every buffer by ownership.
+    pub fn into_buffers(self) -> HashMap<(Rank, BufId), Vec<u8>> {
+        self.buffers
+    }
 }
 
 /// Executes schedules with one thread per participating rank.
@@ -288,10 +300,21 @@ fn execute_op(
     let dst_key = (dst_rank, dst_buf);
     if src_key == dst_key {
         // Same buffer: single write lock. Ranges are disjoint or identical
-        // per validation; split via a scratch copy of the source range.
+        // per validation. Disjoint ranges split borrow-wise without any
+        // allocation; only the identical-range case (in-place reduce lane)
+        // needs a scratch copy of the source.
         let mut buf = buffers[&src_key].write();
-        let scratch = buf[src_off..src_off + bytes].to_vec();
-        apply(&mut buf[dst_off..dst_off + bytes], &scratch);
+        let disjoint = src_off + bytes <= dst_off || dst_off + bytes <= src_off;
+        if !disjoint {
+            let scratch = buf[src_off..src_off + bytes].to_vec();
+            apply(&mut buf[dst_off..dst_off + bytes], &scratch);
+        } else if src_off < dst_off {
+            let (lo, hi) = buf.split_at_mut(dst_off);
+            apply(&mut hi[..bytes], &lo[src_off..src_off + bytes]);
+        } else {
+            let (lo, hi) = buf.split_at_mut(src_off);
+            apply(&mut lo[dst_off..dst_off + bytes], &hi[..bytes]);
+        }
     } else {
         // Lock in global key order to avoid deadlock between concurrent
         // copies crossing the same pair of buffers in opposite directions.
@@ -425,6 +448,33 @@ mod tests {
             assert_eq!(&a.buffer(r, BufId::Recv)[..4096], &pattern((r + 15) % 16, 4096)[..]);
             assert_eq!(&a.buffer(r, BufId::Recv)[4096..], &pattern((r + 15) % 16, 4096)[..]);
         }
+    }
+
+    #[test]
+    fn same_buffer_copies_in_both_directions() {
+        // Intra-buffer copies exercise the allocation-free split paths:
+        // real data lands via the high-to-low direction, then fans back
+        // low-to-high.
+        let mut b = ScheduleBuilder::new("t", 1);
+        let a = b.copy((0, BufId::Send, 0), (0, BufId::Recv, 64), 64, Mech::Memcpy, 0, vec![]);
+        let c = b.copy((0, BufId::Recv, 64), (0, BufId::Recv, 0), 64, Mech::Memcpy, 0, vec![a]);
+        b.copy((0, BufId::Recv, 0), (0, BufId::Recv, 128), 64, Mech::Memcpy, 0, vec![c]);
+        let res = ThreadExecutor::new().run(&b.finish(), pattern).unwrap();
+        for seg in [0, 64, 128] {
+            assert_eq!(res.buffer(0, BufId::Recv)[seg..seg + 64], pattern(0, 64)[..], "at {seg}");
+        }
+    }
+
+    #[test]
+    fn buffers_can_be_taken_by_ownership() {
+        let mut b = ScheduleBuilder::new("t", 2);
+        b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 256, Mech::Memcpy, 1, vec![]);
+        let mut res = ThreadExecutor::new().run(&b.finish(), pattern).unwrap();
+        let owned = res.take_buffer(1, BufId::Recv);
+        assert_eq!(owned, pattern(0, 256));
+        assert!(res.buffer(1, BufId::Recv).is_empty(), "taken buffer is gone");
+        let rest = res.into_buffers();
+        assert!(rest.contains_key(&(0, BufId::Send)));
     }
 
     #[test]

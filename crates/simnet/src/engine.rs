@@ -4,13 +4,37 @@
 //! operation whose dependencies are satisfied is queued on its executor; when
 //! started it first pays its latency (`base + hop x distance`, plus the KNEM
 //! setup for kernel copies), then becomes a *flow* over its route. Active
-//! flow rates are recomputed at every event by progressive filling: the
-//! bottleneck resource fixes the rate of every flow crossing it, capacities
-//! are drained, and the process repeats — max-min fairness with per-resource
-//! multiplicities (a NUMA-local copy loads its controller twice).
+//! flow rates are recomputed by progressive filling: the bottleneck resource
+//! fixes the rate of every flow crossing it, capacities are drained, and the
+//! process repeats — max-min fairness with per-resource multiplicities (a
+//! NUMA-local copy loads its controller twice).
+//!
+//! # Incremental rate solving
+//!
+//! Recomputing every rate at every event is the simulator's hot path:
+//! max-min is O(flows × resources) per progressive-filling round, and most
+//! events touch only a corner of the machine. The engine therefore
+//! maintains a flow ↔ resource incidence index and exploits the
+//! decomposition property of max-min fairness: the allocation splits over
+//! connected components of the flow–resource graph, and components whose
+//! flow set did not change keep their previous (already max-min) rates.
+//! Per event:
+//!
+//! * **no flow arrived or departed** → nothing is solved (rates depend only
+//!   on the set of active flows and their fixed routes);
+//! * **some flows changed** → a BFS from the touched resources collects the
+//!   affected component(s); progressive filling re-runs for those flows
+//!   only. The affected set is closed under resource sharing, so the
+//!   restricted solve equals the full solve restricted to it;
+//! * **the component spans every flow** (e.g. an arriving flow merges two
+//!   components) → fall back to the plain full recompute.
+//!
+//! Debug builds re-solve everything after each incremental update and
+//! assert the rates agree; [`SimExecutor::with_full_rates`] forces the full
+//! solve at every event (the reference the property tests compare against).
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use pdac_hwtopo::{core_distance, Binding, Machine};
 
@@ -33,6 +57,18 @@ impl Default for SimConfig {
     }
 }
 
+/// How often each rate-solver path ran during a simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Events where the flow set was unchanged: no solve at all.
+    pub skipped: u64,
+    /// Component-scoped incremental solves.
+    pub incremental: u64,
+    /// Whole-flow-set solves (cold starts, component merges, or forced via
+    /// [`SimExecutor::with_full_rates`]).
+    pub full: u64,
+}
+
 /// Result of simulating one schedule.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -47,6 +83,8 @@ pub struct SimReport {
     pub resource_bytes: BTreeMap<Resource, f64>,
     /// Time each rank spent executing operations.
     pub rank_busy: Vec<f64>,
+    /// Rate-solver invocation counts (incremental vs full vs skipped).
+    pub solver_stats: SolverStats,
 }
 
 impl SimReport {
@@ -67,6 +105,9 @@ pub struct SimExecutor<'a> {
     binding: &'a Binding,
     cal: Calibration,
     config: SimConfig,
+    /// Force the whole-flow-set solve at every event instead of the
+    /// incremental component-scoped one (reference semantics for tests).
+    full_rates: bool,
 }
 
 /// Total-order f64 key for the timer heap.
@@ -86,9 +127,284 @@ impl Ord for Time {
 
 struct Flow {
     route: Route,
+    /// `route` with resources replaced by their dense [`RateSolver`]
+    /// indices and multiplicities pre-widened — what the solver's hot
+    /// loops read instead of hashing `Resource` keys.
+    droute: Vec<(usize, f64)>,
     remaining: f64,
     rate: f64,
     bytes: usize,
+}
+
+/// Incremental max-min rate solver state, owned by one `run()`.
+///
+/// Resources are interned to dense indices on first sight, so all solver
+/// bookkeeping is flat vectors: the flow ↔ resource incidence, the
+/// generation-stamped visited marks of the component BFS, and the
+/// residual/load tables of progressive filling. Every buffer is reused
+/// across events — the steady state allocates nothing.
+struct RateSolver {
+    /// Resource → dense index.
+    index: HashMap<Resource, usize>,
+    /// Capacity per dense index (computed once per resource per run).
+    caps: Vec<f64>,
+    /// Flows currently crossing each resource.
+    incidence: Vec<Vec<OpId>>,
+    /// Resources touched by this event's flow arrivals/departures (may
+    /// contain duplicates; the BFS dedups via `res_mark`).
+    touched: Vec<usize>,
+    /// Generation stamps for resources / flows (0 = never seen).
+    res_mark: Vec<u64>,
+    flow_mark: Vec<u64>,
+    generation: u64,
+    // Scratch reused across events.
+    stack: Vec<usize>,
+    affected: Vec<OpId>,
+    all_ids: Vec<OpId>,
+    parts: Vec<usize>,
+    residual: Vec<f64>,
+    load: Vec<f64>,
+    unfixed: Vec<bool>,
+    bottlenecked: Vec<usize>,
+    rates: Vec<f64>,
+}
+
+impl RateSolver {
+    fn new(num_ops: usize) -> Self {
+        RateSolver {
+            index: HashMap::new(),
+            caps: Vec::new(),
+            incidence: Vec::new(),
+            touched: Vec::new(),
+            res_mark: Vec::new(),
+            flow_mark: vec![0; num_ops],
+            generation: 0,
+            stack: Vec::new(),
+            affected: Vec::new(),
+            all_ids: Vec::new(),
+            parts: Vec::new(),
+            residual: Vec::new(),
+            load: Vec::new(),
+            unfixed: Vec::new(),
+            bottlenecked: Vec::new(),
+            rates: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, r: Resource, cal: &Calibration) -> usize {
+        if let Some(&d) = self.index.get(&r) {
+            return d;
+        }
+        let d = self.caps.len();
+        self.index.insert(r, d);
+        self.caps.push(cal.capacity(r));
+        self.incidence.push(Vec::new());
+        self.res_mark.push(0);
+        self.residual.push(0.0);
+        self.load.push(0.0);
+        d
+    }
+
+    /// Registers an arriving flow; returns its dense route.
+    fn add_flow(&mut self, id: OpId, route: &Route, cal: &Calibration) -> Vec<(usize, f64)> {
+        let mut droute = Vec::with_capacity(route.len());
+        for &(r, m) in route {
+            let d = self.intern(r, cal);
+            self.incidence[d].push(id);
+            self.touched.push(d);
+            droute.push((d, f64::from(m)));
+        }
+        droute
+    }
+
+    /// Unregisters a departing flow.
+    fn remove_flow(&mut self, id: OpId, droute: &[(usize, f64)]) {
+        for &(d, _) in droute {
+            self.incidence[d].retain(|&x| x != id);
+            self.touched.push(d);
+        }
+    }
+
+    /// Per-event rate update. `force_full` reproduces the pre-incremental
+    /// engine: a whole-flow-set solve at every event.
+    fn solve_event(
+        &mut self,
+        flows: &mut BTreeMap<OpId, Flow>,
+        force_full: bool,
+        stats: &mut SolverStats,
+    ) {
+        if force_full {
+            self.touched.clear();
+            self.solve_all(flows);
+            stats.full += 1;
+            return;
+        }
+        if self.touched.is_empty() {
+            // No flow arrived or departed: routes are fixed at flow
+            // creation, so the standing allocation is still max-min.
+            stats.skipped += 1;
+            return;
+        }
+
+        // BFS over the bipartite flow <-> resource graph from the touched
+        // resources. The affected set is closed under resource sharing,
+        // and max-min decomposes over connected components, so flows
+        // outside it keep their (still max-min) rates.
+        self.generation += 1;
+        let gen = self.generation;
+        self.stack.clear();
+        for i in 0..self.touched.len() {
+            let r = self.touched[i];
+            if self.res_mark[r] != gen {
+                self.res_mark[r] = gen;
+                self.stack.push(r);
+            }
+        }
+        self.touched.clear();
+        self.affected.clear();
+        while let Some(r) = self.stack.pop() {
+            for i in 0..self.incidence[r].len() {
+                let id = self.incidence[r][i];
+                if self.flow_mark[id] != gen {
+                    self.flow_mark[id] = gen;
+                    self.affected.push(id);
+                    for &(r2, _) in &flows[&id].droute {
+                        if self.res_mark[r2] != gen {
+                            self.res_mark[r2] = gen;
+                            self.stack.push(r2);
+                        }
+                    }
+                }
+            }
+        }
+
+        if self.affected.is_empty() {
+            // Departures emptied their component; nothing left to solve.
+            stats.skipped += 1;
+        } else if self.affected.len() == flows.len() {
+            // The component spans every flow (cold start, or an arrival
+            // merged previously independent components): full recompute.
+            self.solve_all(flows);
+            stats.full += 1;
+        } else {
+            // Sorted ids ⇒ the same flow order (and therefore the same
+            // floating-point operation order) as a full solve restricted
+            // to the component.
+            self.affected.sort_unstable();
+            let ids = std::mem::take(&mut self.affected);
+            self.fill(flows, &ids);
+            for (i, id) in ids.iter().enumerate() {
+                flows.get_mut(id).expect("flow present").rate = self.rates[i];
+            }
+            self.affected = ids;
+            stats.incremental += 1;
+        }
+
+        #[cfg(debug_assertions)]
+        self.assert_matches_full(flows);
+    }
+
+    /// Whole-flow-set solve.
+    fn solve_all(&mut self, flows: &mut BTreeMap<OpId, Flow>) {
+        if flows.is_empty() {
+            return;
+        }
+        let mut ids = std::mem::take(&mut self.all_ids);
+        ids.clear();
+        ids.extend(flows.keys().copied());
+        self.fill(flows, &ids);
+        for (i, id) in ids.iter().enumerate() {
+            flows.get_mut(id).expect("flow present").rate = self.rates[i];
+        }
+        self.all_ids = ids;
+    }
+
+    /// Max-min progressive filling restricted to `ids`, into `self.rates`.
+    /// The caller guarantees the subset shares no resource with any flow
+    /// outside it, so full capacities apply.
+    fn fill(&mut self, flows: &BTreeMap<OpId, Flow>, ids: &[OpId]) {
+        self.generation += 1;
+        let gen = self.generation;
+        self.parts.clear();
+        for id in ids {
+            for &(r, m) in &flows[id].droute {
+                if self.res_mark[r] != gen {
+                    self.res_mark[r] = gen;
+                    self.parts.push(r);
+                    self.residual[r] = self.caps[r];
+                    self.load[r] = 0.0;
+                }
+                self.load[r] += m;
+            }
+        }
+        self.rates.clear();
+        self.rates.resize(ids.len(), 0.0);
+        self.unfixed.clear();
+        self.unfixed.resize(ids.len(), true);
+
+        let mut remaining = ids.len();
+        while remaining > 0 {
+            // Bottleneck share.
+            let mut min_share = f64::INFINITY;
+            for &r in &self.parts {
+                if self.load[r] > 0.0 {
+                    let share = self.residual[r] / self.load[r];
+                    if share < min_share {
+                        min_share = share;
+                    }
+                }
+            }
+            debug_assert!(min_share.is_finite(), "every flow crosses a finite-capacity core");
+
+            // Fix every unfixed flow crossing a bottleneck resource. Two
+            // phases (collect, then drain) so the membership test sees the
+            // round's starting state for every flow.
+            let mut bottlenecked = std::mem::take(&mut self.bottlenecked);
+            bottlenecked.clear();
+            for (i, id) in ids.iter().enumerate() {
+                if self.unfixed[i]
+                    && flows[id].droute.iter().any(|&(r, _)| {
+                        self.load[r] > 0.0
+                            && self.residual[r] / self.load[r] <= min_share * (1.0 + 1e-9)
+                    })
+                {
+                    bottlenecked.push(i);
+                }
+            }
+            debug_assert!(!bottlenecked.is_empty());
+            for &i in &bottlenecked {
+                self.unfixed[i] = false;
+                remaining -= 1;
+                self.rates[i] = min_share;
+                for &(r, m) in &flows[&ids[i]].droute {
+                    self.residual[r] -= m * min_share;
+                    self.load[r] -= m;
+                }
+            }
+            self.bottlenecked = bottlenecked;
+        }
+    }
+
+    /// Debug-only invariant: the incremental allocation must match a fresh
+    /// whole-flow-set solve (to floating-point tolerance — an exact share
+    /// tie between components can make the full solve fix both in one
+    /// round).
+    #[cfg(debug_assertions)]
+    fn assert_matches_full(&mut self, flows: &BTreeMap<OpId, Flow>) {
+        let ids: Vec<OpId> = flows.keys().copied().collect();
+        if ids.is_empty() {
+            return;
+        }
+        self.fill(flows, &ids);
+        for (i, id) in ids.iter().enumerate() {
+            let got = flows[id].rate;
+            let want = self.rates[i];
+            debug_assert!(
+                (got - want).abs() <= want.abs().max(1.0) * 1e-9,
+                "incremental rate for flow {id} diverged: {got} vs full {want}"
+            );
+        }
+    }
 }
 
 const EPS: f64 = 1e-15;
@@ -96,7 +412,13 @@ const EPS: f64 = 1e-15;
 impl<'a> SimExecutor<'a> {
     /// Creates an executor with the machine's default calibration.
     pub fn new(machine: &'a Machine, binding: &'a Binding, config: SimConfig) -> Self {
-        SimExecutor { machine, binding, cal: Calibration::for_machine(machine), config }
+        SimExecutor {
+            machine,
+            binding,
+            cal: Calibration::for_machine(machine),
+            config,
+            full_rates: false,
+        }
     }
 
     /// Creates an executor with an explicit calibration (ablations).
@@ -106,7 +428,15 @@ impl<'a> SimExecutor<'a> {
         cal: Calibration,
         config: SimConfig,
     ) -> Self {
-        SimExecutor { machine, binding, cal, config }
+        SimExecutor { machine, binding, cal, config, full_rates: false }
+    }
+
+    /// Disables the incremental solver: every event re-solves the whole
+    /// flow set, exactly like the pre-incremental engine. The property
+    /// tests run both modes and assert identical reports.
+    pub fn with_full_rates(mut self) -> Self {
+        self.full_rates = true;
+        self
     }
 
     /// The calibration in use.
@@ -145,6 +475,8 @@ impl<'a> SimExecutor<'a> {
         // (time, op) min-heap of latency-phase completions.
         let mut timers: BinaryHeap<Reverse<(Time, OpId)>> = BinaryHeap::new();
         let mut flows: BTreeMap<OpId, Flow> = BTreeMap::new();
+        let mut solver = RateSolver::new(n);
+        let mut solver_stats = SolverStats::default();
 
         let mut now = 0.0f64;
 
@@ -256,9 +588,10 @@ impl<'a> SimExecutor<'a> {
                             self.config.allow_cache,
                             src_hot,
                         );
+                        let droute = solver.add_flow(id, &route, &self.cal);
                         flows.insert(
                             id,
-                            Flow { route, remaining: *bytes as f64, rate: 0.0, bytes: *bytes },
+                            Flow { route, droute, remaining: *bytes as f64, rate: 0.0, bytes: *bytes },
                         );
                     }
                     OpKind::Notify { .. } => completed.push(id),
@@ -273,6 +606,7 @@ impl<'a> SimExecutor<'a> {
                 .collect();
             for id in finished {
                 let f = flows.remove(&id).expect("flow present");
+                solver.remove_flow(id, &f.droute);
                 for (r, m) in f.route {
                     *resource_bytes.entry(r).or_insert(0.0) += f.bytes as f64 * f64::from(m);
                 }
@@ -305,10 +639,17 @@ impl<'a> SimExecutor<'a> {
             }
 
             start_ready(now, &mut ready, &mut busy, &mut started_at, &mut timers, schedule, self);
-            self.recompute_rates(&mut flows);
+            solver.solve_event(&mut flows, self.full_rates, &mut solver_stats);
         }
 
-        Ok(SimReport { total_time: now, op_start: started_at, op_finish, resource_bytes, rank_busy })
+        Ok(SimReport {
+            total_time: now,
+            op_start: started_at,
+            op_finish,
+            resource_bytes,
+            rank_busy,
+            solver_stats,
+        })
     }
 
     fn latency_of(&self, kind: &OpKind) -> f64 {
@@ -332,59 +673,6 @@ impl<'a> SimExecutor<'a> {
         }
     }
 
-    /// Max-min fair rate allocation by progressive filling.
-    fn recompute_rates(&self, flows: &mut BTreeMap<OpId, Flow>) {
-        if flows.is_empty() {
-            return;
-        }
-        let ids: Vec<OpId> = flows.keys().copied().collect();
-        let mut unfixed: Vec<bool> = vec![true; ids.len()];
-        let mut residual: BTreeMap<Resource, f64> = BTreeMap::new();
-        let mut load: BTreeMap<Resource, f64> = BTreeMap::new();
-        for id in &ids {
-            for &(r, m) in &flows[id].route {
-                *residual.entry(r).or_insert_with(|| self.cal.capacity(r)) += 0.0;
-                *load.entry(r).or_insert(0.0) += f64::from(m);
-            }
-        }
-
-        let mut remaining = ids.len();
-        while remaining > 0 {
-            // Bottleneck share.
-            let mut min_share = f64::INFINITY;
-            for (&r, &l) in &load {
-                if l > 0.0 {
-                    let share = residual[&r] / l;
-                    if share < min_share {
-                        min_share = share;
-                    }
-                }
-            }
-            debug_assert!(min_share.is_finite(), "every flow crosses a finite-capacity core");
-
-            // Fix every unfixed flow crossing a bottleneck resource.
-            let bottlenecked: Vec<usize> = (0..ids.len())
-                .filter(|&i| {
-                    unfixed[i]
-                        && flows[&ids[i]].route.iter().any(|&(r, _)| {
-                            load[&r] > 0.0 && residual[&r] / load[&r] <= min_share * (1.0 + 1e-9)
-                        })
-                })
-                .collect();
-            debug_assert!(!bottlenecked.is_empty());
-            for i in bottlenecked {
-                unfixed[i] = false;
-                remaining -= 1;
-                let f = flows.get_mut(&ids[i]).expect("flow present");
-                f.rate = min_share;
-                let route = f.route.clone();
-                for (r, m) in route {
-                    *residual.get_mut(&r).expect("seen") -= f64::from(m) * min_share;
-                    *load.get_mut(&r).expect("seen") -= f64::from(m);
-                }
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -558,6 +846,60 @@ mod tests {
         let b = mk();
         assert_eq!(a.total_time, b.total_time);
         assert_eq!(a.op_finish, b.op_finish);
+    }
+
+    #[test]
+    fn incremental_rates_match_full_recompute() {
+        // Six independent NUMA-local chains with staggered sizes: the flow
+        // graph holds several disjoint components arriving and draining at
+        // different times, so the component-scoped solver actually runs
+        // (and the skip path, via the notify events). Reports must be
+        // bit-identical to the forced whole-flow-set solve.
+        let ig = machines::ig();
+        let binding = Binding::identity(&ig);
+        let mut b = ScheduleBuilder::new("chains", 48);
+        for i in 0..6 {
+            let src = i * 8;
+            let dst = src + 4;
+            let bytes = (i + 1) * (256 << 10);
+            let a = b.copy((src, BufId::Send, 0), (dst, BufId::Recv, 0), bytes, Mech::Knem, dst, vec![]);
+            let n = b.notify(dst, src, vec![a]);
+            b.copy((dst, BufId::Recv, 0), (src, BufId::Temp(0), 0), bytes / 2, Mech::Memcpy, src, vec![n]);
+        }
+        let s = b.finish();
+        let inc = SimExecutor::new(&ig, &binding, SimConfig::default()).run(&s).unwrap();
+        let full =
+            SimExecutor::new(&ig, &binding, SimConfig::default()).with_full_rates().run(&s).unwrap();
+        assert_eq!(inc.total_time, full.total_time);
+        assert_eq!(inc.op_finish, full.op_finish);
+        assert_eq!(inc.resource_bytes, full.resource_bytes);
+        // The incremental engine must have used every fast path.
+        assert!(inc.solver_stats.incremental > 0, "{:?}", inc.solver_stats);
+        assert!(inc.solver_stats.skipped > 0, "{:?}", inc.solver_stats);
+        // The reference engine never does.
+        assert_eq!(full.solver_stats.incremental, 0);
+        assert_eq!(full.solver_stats.skipped, 0);
+        assert!(full.solver_stats.full > 0);
+    }
+
+    #[test]
+    fn contended_flows_share_a_component() {
+        // Two copies through one controller form a single component: the
+        // scoped solver must still see the merge and fall back to (or
+        // equal) the full solve. Cross-checked via total time equality.
+        let ig = machines::ig();
+        let binding = Binding::identity(&ig);
+        let mut b = ScheduleBuilder::new("contended", 48);
+        b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 1 << 20, Mech::Memcpy, 1, vec![]);
+        b.copy((2, BufId::Send, 0), (3, BufId::Recv, 0), 1 << 21, Mech::Memcpy, 3, vec![]);
+        let s = b.finish();
+        let inc = SimExecutor::new(&ig, &binding, SimConfig { allow_cache: false }).run(&s).unwrap();
+        let full = SimExecutor::new(&ig, &binding, SimConfig { allow_cache: false })
+            .with_full_rates()
+            .run(&s)
+            .unwrap();
+        assert_eq!(inc.total_time, full.total_time);
+        assert_eq!(inc.op_finish, full.op_finish);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod route;
 pub mod schedule;
 pub mod trace;
 
-pub use engine::{SimConfig, SimExecutor, SimReport};
+pub use engine::{SimConfig, SimExecutor, SimReport, SolverStats};
 pub use report::{bw_allgather, bw_bcast, bw_p2p, Series, SweepPoint};
 pub use resource::{Calibration, Resource};
 pub use schedule::{

@@ -1,0 +1,212 @@
+//! Offline stand-in for `criterion`: the same macro/builder surface, a much
+//! simpler measurement core (warm up, then time adaptive batches and report
+//! the mean). Good enough to compile `cargo bench --no-run` targets and to
+//! produce indicative numbers when actually run; not a statistical harness.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement configuration plus the result sink.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(30),
+            measure: Duration::from_millis(120),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for source compatibility; CLI arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into() }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { warmup: self.warmup, measure: self.measure, result_ns: 0.0 };
+        f(&mut b);
+        report(name, b.result_ns);
+        self
+    }
+}
+
+/// Units for throughput annotation (accepted, echoed in the report).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports (accepted; the
+    /// stand-in reports plain time).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Sets the target sample count (accepted for compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b =
+            Bencher { warmup: self.c.warmup, measure: self.c.measure, result_ns: 0.0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), b.result_ns);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b =
+            Bencher { warmup: self.c.warmup, measure: self.c.measure, result_ns: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into()), b.result_ns);
+        self
+    }
+
+    /// Ends the group (no-op; results are reported as they complete).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean nanoseconds per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // One timed run sized to fill the measurement window.
+        let iters = ((self.measure.as_secs_f64() / est).ceil() as u64).max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result_ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    }
+}
+
+fn report(id: &str, ns: f64) {
+    if ns >= 1e9 {
+        println!("{id:<50} {:>12.3} s/iter", ns / 1e9);
+    } else if ns >= 1e6 {
+        println!("{id:<50} {:>12.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{id:<50} {:>12.3} us/iter", ns / 1e3);
+    } else {
+        println!("{id:<50} {ns:>12.1} ns/iter");
+    }
+}
+
+/// Collects benchmark functions into a runnable group, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(2),
+            measure: Duration::from_millis(5),
+            sample_size: 10,
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(1)).bench_with_input(
+            BenchmarkId::new("sum", 64),
+            &64u64,
+            |b, &n| b.iter(|| (0..n).sum::<u64>()),
+        );
+        group.finish();
+        c.bench_function("noop", |b| b.iter(|| black_box(1)));
+    }
+}

@@ -1,0 +1,74 @@
+//! Offline stand-in for `crossbeam`, exposing `crossbeam::thread::scope`
+//! over `std::thread::scope` (stable since Rust 1.63). Only the scoped
+//! thread API this workspace uses is provided.
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// Spawn scope handed to the `scope` closure. Unlike std's scope, the
+    /// spawned closures also receive a scope reference (crossbeam's shape),
+    /// enabling nested spawns.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or panic
+        /// payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope again.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned; all
+    /// spawned threads are joined before this returns. Matches crossbeam's
+    /// `Result`-returning signature (the Err side is unreachable here: std's
+    /// scope resumes unjoined-thread panics on the caller instead).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1, 2, 3];
+            let sum = super::scope(|s| {
+                let handles: Vec<_> =
+                    data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+            })
+            .unwrap();
+            assert_eq!(sum, 12);
+        }
+
+        #[test]
+        fn nested_spawn_through_inner_scope() {
+            let n = super::scope(|s| {
+                s.spawn(|inner| inner.spawn(|_| 7).join().unwrap()).join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 7);
+        }
+    }
+}

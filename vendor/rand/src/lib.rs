@@ -1,0 +1,135 @@
+//! Offline stand-in for `rand` 0.8, covering the subset this workspace
+//! uses: `StdRng::seed_from_u64`, the `Rng`/`RngCore` traits, and
+//! `SliceRandom::shuffle`. The generator is SplitMix64 — deterministic and
+//! statistically fine for seeded shuffles and test data.
+
+/// Core generator interface.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods (blanket-implemented).
+pub trait Rng: RngCore {
+    /// A uniform value in `[low, high)`.
+    fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        let span = range.end - range.start;
+        assert!(span > 0, "cannot sample an empty range");
+        range.start + bounded(self.next_u64(), span)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Rejection-free bounded sampling (Lemire's multiply-shift; the tiny
+/// modulo bias is irrelevant for shuffles and test data).
+fn bounded(x: u64, n: usize) -> usize {
+    ((u128::from(x) * n as u128) >> 64) as usize
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The standard generator: SplitMix64 in this stand-in.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Sequence helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{bounded, RngCore};
+
+    /// Slice extension trait with in-place shuffling.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = bounded(rng.next_u64(), i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[bounded(rng.next_u64(), self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let mut a = super::rngs::StdRng::seed_from_u64(42);
+        let mut b = super::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = super::rngs::StdRng::seed_from_u64(7);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "seed 7 should not produce the identity permutation");
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = super::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,659 @@
+//! Offline stand-in for `serde`, built around an explicit value tree.
+//!
+//! The real crates.io registry is unreachable in this build environment, so
+//! the workspace vendors a minimal implementation that is source-compatible
+//! with the subset of serde it actually uses: `#[derive(Serialize,
+//! Deserialize)]` on structs and enums (unit / newtype / tuple / struct
+//! variants), the container attributes `#[serde(default)]`,
+//! `#[serde(default = "path")]` and `#[serde(with = "module")]`, and the
+//! `Serializer`/`Deserializer` traits as used by hand-written `with`
+//! modules.
+//!
+//! Serialization goes through [`Value`], an owned JSON-like tree;
+//! `serde_json` (also vendored) renders and parses that tree. Enum variants
+//! use the externally-tagged representation, matching real serde's default.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned, JSON-compatible value tree — the interchange format between
+/// [`Serialize`]/[`Deserialize`] impls and data formats.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null` (also the encoding of `None` and non-finite floats).
+    #[default]
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer that does not fit `i64` (e.g. `usize::MAX`).
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup: `Some` for a present object key, `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string contents if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric contents widened to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(v) => Some(v as f64),
+            Value::U64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer contents, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            Value::U64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Signed integer contents, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Boolean contents.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Seq(s) => s.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        self.as_i64() == Some(i64::from(*other))
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+/// Deserialization failure: a human-readable path/type mismatch message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// An error with an arbitrary message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+
+    /// A missing-field error.
+    pub fn missing(field: &str) -> Self {
+        DeError(format!("missing field `{field}`"))
+    }
+
+    /// A type-mismatch error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::I64(_) | Value::U64(_) => "an integer",
+            Value::F64(_) => "a float",
+            Value::Str(_) => "a string",
+            Value::Seq(_) => "an array",
+            Value::Map(_) => "an object",
+        };
+        DeError(format!("expected {what}, found {kind}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can render itself as a [`Value`].
+pub trait Serialize {
+    /// The value-tree representation of `self`.
+    fn to_value(&self) -> Value;
+
+    /// Format-facing entry point: hand the value tree to `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// A type that can reconstruct itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `v` into `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Format-facing entry point: pull a value tree out of `deserializer`
+    /// and parse it.
+    fn deserialize<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.take_value()?;
+        Self::from_value(&v).map_err(D::custom_error)
+    }
+}
+
+/// A data format that consumes one [`Value`].
+pub trait Serializer: Sized {
+    /// What a successful serialization yields.
+    type Ok;
+    /// The format's error type.
+    type Error;
+    /// Consumes the value tree.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that produces one [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// The format's error type.
+    type Error;
+    /// Produces the value tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+    /// Wraps a structural [`DeError`] into the format's error type.
+    fn custom_error(e: DeError) -> Self::Error;
+}
+
+/// In-memory [`Serializer`]: yields the [`Value`] itself. Used by derived
+/// code to drive `#[serde(with = "module")]` field serializers.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = std::convert::Infallible;
+    fn serialize_value(self, v: Value) -> Result<Value, Self::Error> {
+        Ok(v)
+    }
+}
+
+/// In-memory [`Deserializer`] over a borrowed [`Value`]. Used by derived
+/// code to drive `#[serde(with = "module")]` field deserializers.
+pub struct ValueDeserializer<'a> {
+    v: &'a Value,
+}
+
+impl<'a> ValueDeserializer<'a> {
+    /// A deserializer that yields a clone of `v`.
+    pub fn new(v: &'a Value) -> Self {
+        ValueDeserializer { v }
+    }
+}
+
+impl<'de, 'a> Deserializer<'de> for ValueDeserializer<'a> {
+    type Error = DeError;
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.v.clone())
+    }
+    fn custom_error(e: DeError) -> DeError {
+        e
+    }
+}
+
+/// Serializes through a `with`-module in derived code, unwrapping the
+/// infallible in-memory serializer.
+pub fn __with_serialize<T: ?Sized>(
+    f: impl FnOnce(&T, ValueSerializer) -> Result<Value, std::convert::Infallible>,
+    v: &T,
+) -> Value {
+    match f(v, ValueSerializer) {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// Field lookup helper for derived `from_value` impls.
+pub fn __find<'v>(map: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("a boolean", v))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                match i64::try_from(wide) {
+                    Ok(v) => Value::I64(v),
+                    Err(_) => Value::U64(wide),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_u64()
+                    .and_then(|u| <$t>::try_from(u).ok())
+                    .ok_or_else(|| DeError::expected(concat!("a ", stringify!($t)), v))
+            }
+        }
+    )+};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_i64()
+                    .and_then(|i| <$t>::try_from(i).ok())
+                    .ok_or_else(|| DeError::expected(concat!("a ", stringify!($t)), v))
+            }
+        }
+    )+};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::F64(*self)
+        } else {
+            // Real serde_json renders non-finite floats as null.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("a number", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        f64::from(*self).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_owned).ok_or_else(|| DeError::expected("a string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("a one-char string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("a one-char string", v)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("an array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected {N} elements, found {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_array().ok_or_else(|| DeError::expected("a tuple array", v))?;
+                let expect = [$($idx),+].len();
+                if items.len() != expect {
+                    return Err(DeError::custom(format!(
+                        "expected a tuple of {expect}, found {} elements", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Keys become strings when they already are; otherwise the map is
+        // rendered as an array of pairs (covers non-string keys losslessly).
+        if self.keys().all(|k| matches!(k.to_value(), Value::Str(_))) {
+            Value::Map(
+                self.iter()
+                    .map(|(k, v)| {
+                        let Value::Str(key) = k.to_value() else { unreachable!() };
+                        (key, v.to_value())
+                    })
+                    .collect(),
+            )
+        } else {
+            Value::Seq(self.iter().map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()])).collect())
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((K::from_value(&Value::Str(k.clone()))?, V::from_value(val)?)))
+                .collect(),
+            Value::Seq(pairs) => pairs
+                .iter()
+                .map(<(K, V)>::from_value)
+                .collect(),
+            other => Err(DeError::expected("a map", other)),
+        }
+    }
+}
+
+impl<K, V, S> Serialize for std::collections::HashMap<K, V, S>
+where
+    K: Serialize + Ord,
+    V: Serialize,
+    S: std::hash::BuildHasher,
+{
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort by key.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        if entries.iter().all(|(k, _)| matches!(k.to_value(), Value::Str(_))) {
+            Value::Map(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| {
+                        let Value::Str(key) = k.to_value() else { unreachable!() };
+                        (key, v.to_value())
+                    })
+                    .collect(),
+            )
+        } else {
+            Value::Seq(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Namespace mirror of real serde's `ser` module.
+pub mod ser {
+    pub use crate::{Serialize, Serializer};
+}
+
+/// Namespace mirror of real serde's `de` module.
+pub mod de {
+    pub use crate::{DeError, Deserialize, Deserializer};
+
+    /// Mirror of `serde::de::Error` for `with`-modules that bound on it.
+    pub trait Error: Sized {
+        /// An error with an arbitrary message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for DeError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            DeError::custom(msg)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(usize::from_value(&usize::MAX.to_value()).unwrap(), usize::MAX);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn max_usize_uses_u64_variant() {
+        assert_eq!(usize::MAX.to_value(), Value::U64(u64::MAX));
+    }
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let v: Option<Vec<(u8, usize)>> = Some(vec![(1, 2), (3, 4)]);
+        let round: Option<Vec<(u8, usize)>> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(round, v);
+        let none: Option<u32> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn value_indexing() {
+        let v = Value::Map(vec![("k".into(), Value::Seq(vec![Value::I64(9)]))]);
+        assert_eq!(v["k"][0].as_i64(), Some(9));
+        assert!(v["absent"].is_null());
+        assert!(v["k"]["not-a-map"].is_null());
+    }
+}

@@ -1,0 +1,473 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (no syn/quote — the
+//! registry is unreachable in this build environment). Supports what the
+//! workspace uses: non-generic structs with named fields and non-generic
+//! enums with unit / newtype / tuple / struct variants, plus the field
+//! attributes `#[serde(default)]`, `#[serde(default = "path")]` and
+//! `#[serde(with = "module")]`. Enums serialize externally tagged, like
+//! real serde's default representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone)]
+enum DefaultAttr {
+    None,
+    Flag,
+    Path(String),
+}
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    default: DefaultAttr,
+    with: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives the stand-in `serde::Serialize` (a `to_value` implementation).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the stand-in `serde::Deserialize` (a `from_value` implementation).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let body = expect_group(&tokens, &mut i, Delimiter::Brace, &name);
+            Item::Struct { name, fields: parse_fields(body) }
+        }
+        "enum" => {
+            let body = expect_group(&tokens, &mut i, Delimiter::Brace, &name);
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde stand-in derive supports structs and enums, found `{other}`"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Collects the field-level serde configuration from the attributes at `*i`,
+/// advancing past them.
+fn parse_field_attrs(tokens: &[TokenTree], i: &mut usize) -> (DefaultAttr, Option<String>) {
+    let mut default = DefaultAttr::None;
+    let mut with = None;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let TokenTree::Group(g) = &tokens[*i + 1] else {
+            panic!("attribute `#` not followed by a bracket group");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+            let TokenTree::Group(args) = &inner[1] else {
+                panic!("#[serde] without an argument list");
+            };
+            parse_serde_args(args.stream(), &mut default, &mut with);
+        }
+        *i += 2;
+    }
+    (default, with)
+}
+
+fn parse_serde_args(args: TokenStream, default: &mut DefaultAttr, with: &mut Option<String>) {
+    let tokens: Vec<TokenTree> = args.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = expect_ident(&tokens, &mut i);
+        let value = if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            let TokenTree::Literal(lit) = &tokens[i] else {
+                panic!("#[serde({key} = ...)] expects a string literal");
+            };
+            i += 1;
+            Some(strip_quotes(&lit.to_string()))
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("default", None) => *default = DefaultAttr::Flag,
+            ("default", Some(path)) => *default = DefaultAttr::Path(path),
+            ("with", Some(path)) => *with = Some(path),
+            (other, _) => panic!("serde stand-in derive does not support #[serde({other})]"),
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (default, with) = parse_field_attrs(&tokens, &mut i);
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        expect_punct(&tokens, &mut i, ':');
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, default, with });
+    }
+    fields
+}
+
+/// Skips a type (and the following comma, if any): consumes until a
+/// top-level `,`, tracking `<`/`>` nesting. Parenthesized and bracketed
+/// parts arrive as single groups, so only angle brackets need counting.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _ = parse_field_attrs(&tokens, &mut i); // tolerates #[default], docs
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for (idx, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 && idx + 1 < tokens.len() => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+fn expect_punct(tokens: &[TokenTree], i: &mut usize, c: char) {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == c => *i += 1,
+        other => panic!("expected `{c}`, found {other:?}"),
+    }
+}
+
+fn expect_group(tokens: &[TokenTree], i: &mut usize, delim: Delimiter, ctx: &str) -> TokenStream {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => {
+            *i += 1;
+            g.stream()
+        }
+        other => panic!("expected braced body for `{ctx}`, found {other:?}"),
+    }
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+// ---------------------------------------------------------------- codegen
+
+const IMPL_HEADER: &str = "#[automatically_derived]\n#[allow(warnings, clippy::all)]\n";
+
+fn field_to_value_expr(field: &Field, access: &str) -> String {
+    match &field.with {
+        Some(module) => format!("::serde::__with_serialize({module}::serialize, {access})"),
+        None => format!("::serde::Serialize::to_value({access})"),
+    }
+}
+
+fn field_from_value_arm(field: &Field, map_var: &str) -> String {
+    let name = &field.name;
+    let parse = match &field.with {
+        Some(module) => {
+            format!("{module}::deserialize(::serde::ValueDeserializer::new(__f))?")
+        }
+        None => "::serde::Deserialize::from_value(__f)?".to_string(),
+    };
+    let absent = match &field.default {
+        DefaultAttr::None => format!("return Err(::serde::DeError::missing(\"{name}\"))"),
+        DefaultAttr::Flag => "::std::default::Default::default()".to_string(),
+        DefaultAttr::Path(path) => format!("{path}()"),
+    };
+    format!(
+        "{name}: match ::serde::__find({map_var}, \"{name}\") {{ \
+           Some(__f) => {parse}, None => {absent} }},"
+    )
+}
+
+fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let expr = field_to_value_expr(f, &format!("&self.{}", f.name));
+            format!("(\"{}\".to_string(), {expr})", f.name)
+        })
+        .collect();
+    format!(
+        "{IMPL_HEADER}impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{\n\
+             ::serde::Value::Map(vec![{}])\n\
+           }}\n\
+         }}\n",
+        entries.join(", ")
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let arms: Vec<String> = fields.iter().map(|f| field_from_value_arm(f, "__m")).collect();
+    format!(
+        "{IMPL_HEADER}impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             let ::serde::Value::Map(__m) = __v else {{\n\
+               return Err(::serde::DeError::expected(\"a map for `{name}`\", __v));\n\
+             }};\n\
+             Ok({name} {{ {} }})\n\
+           }}\n\
+         }}\n",
+        arms.join(" ")
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => format!(
+                    "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                ),
+                VariantKind::Tuple(1) => format!(
+                    "{name}::{vname}(__f0) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                     ::serde::Serialize::to_value(__f0))]),"
+                ),
+                VariantKind::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                         ::serde::Value::Seq(vec![{}]))]),",
+                        binds.join(", "),
+                        items.join(", ")
+                    )
+                }
+                VariantKind::Struct(fields) => {
+                    let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            let expr = field_to_value_expr(f, &f.name);
+                            format!("(\"{}\".to_string(), {expr})", f.name)
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {} }} => ::serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                         ::serde::Value::Map(vec![{}]))]),",
+                        binds.join(", "),
+                        entries.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "{IMPL_HEADER}impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{\n\
+             match self {{ {} }}\n\
+           }}\n\
+         }}\n",
+        arms.join("\n")
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(__val)?)),"
+                )),
+                VariantKind::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                           let __items = __val.as_array().ok_or_else(|| \
+                             ::serde::DeError::expected(\"an array for `{name}::{vname}`\", __val))?;\n\
+                           if __items.len() != {n} {{\n\
+                             return Err(::serde::DeError::custom(format!(\
+                               \"expected {n} fields for `{name}::{vname}`, found {{}}\", __items.len())));\n\
+                           }}\n\
+                           Ok({name}::{vname}({}))\n\
+                         }}",
+                        items.join(", ")
+                    ))
+                }
+                VariantKind::Struct(fields) => {
+                    let arms: Vec<String> =
+                        fields.iter().map(|f| field_from_value_arm(f, "__fm")).collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                           let ::serde::Value::Map(__fm) = __val else {{\n\
+                             return Err(::serde::DeError::expected(\"a map for `{name}::{vname}`\", __val));\n\
+                           }};\n\
+                           Ok({name}::{vname} {{ {} }})\n\
+                         }}",
+                        arms.join(" ")
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    let str_arm = if unit_arms.is_empty() {
+        format!(
+            "::serde::Value::Str(__s) => Err(::serde::DeError::custom(\
+               format!(\"unknown variant `{{}}` of `{name}`\", __s))),"
+        )
+    } else {
+        format!(
+            "::serde::Value::Str(__s) => match __s.as_str() {{\n{}\n\
+               __other => Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n\
+             }},",
+            unit_arms.join("\n")
+        )
+    };
+    let map_arm = if tagged_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+               let (__tag, __val) = &__m[0];\n\
+               match __tag.as_str() {{\n{}\n\
+                 __other => Err(::serde::DeError::custom(\
+                   format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n\
+               }}\n\
+             }}",
+            tagged_arms.join("\n")
+        )
+    };
+    format!(
+        "{IMPL_HEADER}impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             match __v {{\n\
+               {str_arm}\n\
+               {map_arm}\n\
+               __other => Err(::serde::DeError::expected(\"a `{name}` variant\", __other)),\n\
+             }}\n\
+           }}\n\
+         }}\n"
+    )
+}
