@@ -1,0 +1,360 @@
+//! Deterministic chaos-test harness: collectives under seeded faults.
+//!
+//! [`run_chaos`] executes one collective on the real-thread oracle with a
+//! seed-derived fault cocktail — a crashed non-root rank, a stalled rank
+//! (both from [`ExecFaultPlan::seeded`]) and a transient KNEM device fault
+//! — wrapped in a watchdog. The contract it enforces is the tentpole
+//! guarantee of the fault subsystem:
+//!
+//! * faults that can heal (transient KNEM failures, stalls, dropped
+//!   notifications) heal through bounded retry, and the payload verifies;
+//! * a crashed rank is detected by timeout, the communicator shrinks to
+//!   the survivors ([`RecoveryManager`]), the topology is rebuilt under
+//!   the new epoch, and the collective completes correctly on the
+//!   survivors;
+//! * anything else returns a typed [`CollectiveError`] quoting the seed —
+//!   **never** a hang (the watchdog converts one into
+//!   [`CollectiveError::Hang`]).
+//!
+//! Everything is a pure function of the `u64` seed: same seed, same fault
+//! plan, same outcome.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pdac_mpisim::knem::FaultPlan as KnemFaultPlan;
+use pdac_mpisim::{Communicator, ExecError, ExecFaultPlan, KnemDevice, RetryPolicy, ThreadExecutor};
+use pdac_simnet::{
+    BufId, FaultPlan as SimFaultPlan, FaultStats, Resource, Schedule, SimConfig, SimExecutor,
+    SimReport,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::adaptive::AdaptiveColl;
+use crate::recovery::{CollectiveError, RecoveryManager};
+use crate::topocache::TopoCache;
+use crate::verify::{pattern, reduced_pattern};
+
+/// Which collective the harness exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosCollective {
+    /// Broadcast `bytes` from `root`.
+    Bcast {
+        /// Preferred root (world rank); re-elected if it is crashed.
+        root: usize,
+        /// Payload size.
+        bytes: usize,
+    },
+    /// Allgather with `block` bytes per rank.
+    Allgather {
+        /// Per-rank block size.
+        block: usize,
+    },
+    /// Allreduce of `bytes`.
+    Allreduce {
+        /// Payload size.
+        bytes: usize,
+    },
+}
+
+/// Harness configuration. The watchdog bounds the *whole* attempt
+/// (execution + recovery + re-execution); the retry policy governs
+/// per-operation behavior inside the executor.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Seed deriving every injected fault; quoted in all failures.
+    pub seed: u64,
+    /// Wall-clock budget per executor attempt before declaring a hang.
+    pub watchdog: Duration,
+    /// Executor retry/timeout policy.
+    pub policy: RetryPolicy,
+}
+
+impl ChaosConfig {
+    /// Defaults: 10 s watchdog, [`RetryPolicy::chaos`] with a 100 ms
+    /// per-operation deadline (fast failure detection on small machines).
+    pub fn new(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            watchdog: Duration::from_secs(10),
+            policy: RetryPolicy {
+                op_deadline: Some(Duration::from_millis(100)),
+                ..RetryPolicy::chaos()
+            },
+        }
+    }
+}
+
+/// What a successful chaos run looked like.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// Whether recovery (communicator shrink + topology rebuild) ran.
+    pub recovered: bool,
+    /// World ranks marked failed during the run.
+    pub failed_ranks: Vec<usize>,
+    /// Merged fault accounting: executor counters from every attempt plus
+    /// the recovery manager's rebuild count.
+    pub stats: FaultStats,
+    /// Timing of the final (survivor) schedule through the contention
+    /// simulator under a seed-derived degraded link; its `fault_stats`
+    /// carries the merged accounting of the whole chaos run.
+    pub sim_report: SimReport,
+}
+
+fn build_schedule(mgr: &RecoveryManager, what: ChaosCollective) -> Schedule {
+    match what {
+        ChaosCollective::Bcast { root, bytes } => mgr.bcast(root, bytes),
+        ChaosCollective::Allgather { block } => mgr.allgather(block),
+        ChaosCollective::Allreduce { bytes } => mgr.allreduce(0, bytes),
+    }
+}
+
+/// Semantic check of actual output buffers (the executor ran with faults,
+/// so the bytes — not just completion — must be validated).
+fn check_payload(
+    what: ChaosCollective,
+    root: usize,
+    res: &pdac_mpisim::ExecResult,
+    num_ranks: usize,
+) -> Result<(), String> {
+    let expect = |rank: usize, expected: &[u8]| -> Result<(), String> {
+        let got = res.buffer(rank, BufId::Recv);
+        if got.len() < expected.len() {
+            return Err(format!("rank {rank}: buffer is {} bytes, expected {}", got.len(), expected.len()));
+        }
+        match expected.iter().zip(got).position(|(e, g)| e != g) {
+            None => Ok(()),
+            Some(off) => Err(format!(
+                "rank {rank}: byte {off} is {:#04x}, expected {:#04x}",
+                got[off], expected[off]
+            )),
+        }
+    };
+    match what {
+        ChaosCollective::Bcast { bytes, .. } => {
+            let expected = pattern(root, bytes);
+            for r in (0..num_ranks).filter(|&r| r != root) {
+                expect(r, &expected)?;
+            }
+        }
+        ChaosCollective::Allgather { block } => {
+            let mut expected = Vec::with_capacity(num_ranks * block);
+            for r in 0..num_ranks {
+                expected.extend_from_slice(&pattern(r, block));
+            }
+            for r in 0..num_ranks {
+                expect(r, &expected)?;
+            }
+        }
+        ChaosCollective::Allreduce { bytes } => {
+            let expected = reduced_pattern(num_ranks, bytes);
+            for r in 0..num_ranks {
+                expect(r, &expected)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One executor attempt under a watchdog. `Err(())` means the watchdog
+/// fired — the executor neither finished nor returned an error in time.
+fn run_attempt(
+    schedule: Schedule,
+    device: Arc<KnemDevice>,
+    policy: RetryPolicy,
+    faults: Option<ExecFaultPlan>,
+    watchdog: Duration,
+) -> Result<Result<pdac_mpisim::ExecResult, ExecError>, ()> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut exec = ThreadExecutor::with_device(device).with_policy(policy);
+        if let Some(plan) = faults {
+            exec = exec.with_faults(plan);
+        }
+        let _ = tx.send(exec.run(&schedule, pattern));
+    });
+    rx.recv_timeout(watchdog).map_err(|_| ())
+}
+
+/// Runs `what` on `comm` under the seeded fault cocktail of `cfg`,
+/// recovering from detected rank failures. See the module docs for the
+/// guarantee this enforces.
+pub fn run_chaos(
+    comm: &Communicator,
+    coll: AdaptiveColl,
+    what: ChaosCollective,
+    cfg: &ChaosConfig,
+) -> Result<ChaosOutcome, CollectiveError> {
+    let seed = cfg.seed;
+    let preferred_root = match what {
+        ChaosCollective::Bcast { root, .. } => root,
+        _ => 0,
+    };
+    let mut mgr = RecoveryManager::new(coll, Arc::new(TopoCache::new()), comm.clone());
+    let mut stats = FaultStats::default();
+
+    // Seed-derived fault cocktail. The executor plan never crashes the
+    // preferred root (the paper's leader is re-elected only when a *set
+    // member* dies; killing the root of a bcast kills the data source).
+    let exec_plan = ExecFaultPlan::seeded(seed, comm.size(), &[preferred_root]);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let knem_plan =
+        KnemFaultPlan::transient(rng.gen_range(0..4) as u64, 1 + rng.gen_range(0..2) as u64);
+    let degrade_factor = 0.05 + 0.45 * rng.gen_f64();
+
+    let schedule = build_schedule(&mgr, what);
+    let device = Arc::new(KnemDevice::with_faults(knem_plan));
+    let first = run_attempt(
+        schedule,
+        Arc::clone(&device),
+        cfg.policy,
+        Some(exec_plan.clone()),
+        cfg.watchdog,
+    )
+    .map_err(|()| CollectiveError::Hang { seed: Some(seed), watchdog: cfg.watchdog })?;
+
+    // Decide what the first attempt means. A crashed rank does not always
+    // surface as a timeout: a crashed *leaf* has no dependents, so the run
+    // can "complete" with the dead rank's buffer silently wrong — the
+    // injected-crash accounting is the detection signal in that case.
+    enum Next {
+        Done(pdac_mpisim::ExecResult),
+        Recover,
+        RetrySame,
+    }
+    let next = match first {
+        Ok(res) => {
+            stats.merge(&res.fault_stats);
+            if res.fault_stats.ranks_crashed > 0 {
+                Next::Recover
+            } else {
+                Next::Done(res)
+            }
+        }
+        Err(ExecError::Timeout { .. }) => {
+            stats.timeouts += 1;
+            if exec_plan.crashed_ranks().is_empty() {
+                // No crash in the plan: the timeout came from a transient
+                // loss (e.g. a dropped notification). Retry on the same
+                // communicator with a healed device.
+                Next::RetrySame
+            } else {
+                Next::Recover
+            }
+        }
+        Err(ExecError::Knem { retries, .. }) => {
+            // The device fault outlived the retry budget. Heal the device
+            // and retry the same schedule — the ranks are all alive.
+            stats.retries += u64::from(retries);
+            Next::RetrySame
+        }
+        Err(err) => return Err(CollectiveError::Exec { seed: Some(seed), err }),
+    };
+
+    let mut recovered = false;
+    let final_res = match next {
+        Next::Done(res) => res,
+        Next::Recover | Next::RetrySame => {
+            if matches!(next, Next::Recover) {
+                // Detected rank failure: shrink, invalidate, rebuild.
+                let culprits = exec_plan.crashed_ranks();
+                stats.ranks_crashed = stats.ranks_crashed.max(culprits.len() as u64);
+                for c in culprits {
+                    mgr.mark_failed(c)?;
+                }
+                recovered = true;
+            } else {
+                stats.retries += 1;
+            }
+            let rebuilt = build_schedule(&mgr, what);
+            let healed = Arc::new(KnemDevice::new());
+            let res = run_attempt(rebuilt, healed, cfg.policy, None, cfg.watchdog)
+                .map_err(|()| CollectiveError::Hang { seed: Some(seed), watchdog: cfg.watchdog })?
+                .map_err(|err| CollectiveError::Exec { seed: Some(seed), err })?;
+            stats.merge(&res.fault_stats);
+            res
+        }
+    };
+
+    // The run completed — now the bytes must actually be right on the
+    // (possibly shrunk) communicator.
+    let root = mgr.elect_root(preferred_root);
+    let n = mgr.comm().size();
+    check_payload(what, root, &final_res, n)
+        .map_err(|detail| CollectiveError::Verify { seed: Some(seed), detail })?;
+    stats.merge(&mgr.stats());
+
+    // Timing leg: the survivor schedule through the contention simulator
+    // under a seed-derived degraded memory controller, with the chaos
+    // run's accounting merged into the report.
+    let machine = mgr.comm().machine_arc();
+    let binding = mgr.comm().binding().clone();
+    let sim_schedule = build_schedule(&mgr, what);
+    let sim_plan = SimFaultPlan::new(seed).degrade_link(Resource::Mc(0), degrade_factor);
+    let mut sim_report = SimExecutor::new(&machine, &binding, SimConfig::default())
+        .with_fault_plan(sim_plan)
+        .with_deadline(3600.0)
+        .run(&sim_schedule)
+        .map_err(|e| CollectiveError::Verify {
+            seed: Some(seed),
+            detail: format!("simulator leg failed: {e}"),
+        })?;
+    sim_report.fault_stats.merge(&stats);
+    let stats = sim_report.fault_stats;
+
+    Ok(ChaosOutcome { recovered, failed_ranks: mgr.failed().to_vec(), stats, sim_report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdac_hwtopo::{machines, BindingPolicy};
+
+    fn world(n: usize) -> Communicator {
+        let m = Arc::new(machines::flat_smp(n));
+        let binding = BindingPolicy::Contiguous.bind(&m, n).unwrap();
+        Communicator::world(m, binding)
+    }
+
+    #[test]
+    fn chaos_bcast_recovers_from_crash() {
+        let comm = world(6);
+        let cfg = ChaosConfig::new(0);
+        let out = run_chaos(
+            &comm,
+            AdaptiveColl::default(),
+            ChaosCollective::Bcast { root: 0, bytes: 20_000 },
+            &cfg,
+        )
+        .unwrap_or_else(|e| panic!("seed {}: {e}", cfg.seed));
+        assert!(out.recovered, "seed 0 crashes a non-root rank");
+        assert_eq!(out.failed_ranks.len(), 1);
+        assert!(out.stats.topology_rebuilds >= 1);
+        assert!(out.stats.links_degraded >= 1, "sim leg degraded a link");
+        assert!(out.sim_report.total_time > 0.0);
+    }
+
+    #[test]
+    fn chaos_outcome_is_seed_deterministic() {
+        let comm = world(5);
+        let run = || {
+            run_chaos(
+                &comm,
+                AdaptiveColl::default(),
+                ChaosCollective::Allgather { block: 2048 },
+                &ChaosConfig::new(77),
+            )
+        };
+        let a = run().unwrap_or_else(|e| panic!("seed 77: {e}"));
+        let b = run().unwrap_or_else(|e| panic!("seed 77: {e}"));
+        assert_eq!(a.failed_ranks, b.failed_ranks);
+        assert_eq!(a.recovered, b.recovered);
+        assert_eq!(
+            a.sim_report.total_time.to_bits(),
+            b.sim_report.total_time.to_bits(),
+            "survivor timing is bit-exact across runs"
+        );
+    }
+}

@@ -43,12 +43,14 @@ pub mod alltoall;
 pub mod barrier;
 pub mod baseline;
 pub mod bcast_tree;
+pub mod chaos;
 pub mod distributed;
 pub mod dot;
 pub mod edges;
 pub mod framework;
 pub mod gather;
 pub mod metrics;
+pub mod recovery;
 pub mod reduce;
 pub mod reduce_scatter;
 pub mod scatter;
@@ -61,7 +63,9 @@ pub mod verify;
 pub use adaptive::{AdaptiveColl, AdaptivePolicy};
 pub use allgather_ring::Ring;
 pub use bcast_tree::build_bcast_tree;
+pub use chaos::{run_chaos, ChaosCollective, ChaosConfig, ChaosOutcome};
 pub use edges::{bcast_edge_order, ring_edge_order, Edge};
+pub use recovery::{CollectiveError, RecoveryManager};
 pub use topocache::{TopoCache, TopoCacheStats, TopoKey, TopoKind};
 pub use tree::Tree;
 pub use unionfind::DisjointSets;

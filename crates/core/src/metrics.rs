@@ -8,7 +8,7 @@
 //! copies per process, and perfectly balanced controllers.
 
 use pdac_hwtopo::{core_distance, Binding, DistanceMatrix, Machine};
-use pdac_simnet::{Mech, OpKind, Schedule};
+use pdac_simnet::{FaultStats, Mech, OpKind, Schedule};
 
 /// Aggregate memory-system counts for one schedule on one placement.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,6 +98,34 @@ pub fn slow_link_bytes(schedule: &Schedule, dist: &DistanceMatrix, threshold: u8
 /// Convenience: distance between the bound cores of two ranks.
 pub fn rank_distance(machine: &Machine, binding: &Binding, a: usize, b: usize) -> u8 {
     core_distance(machine, binding.core_of(a), binding.core_of(b))
+}
+
+/// Folds the fault accounting of several runs (e.g. every attempt of a
+/// chaos sweep) into one record.
+pub fn merge_fault_stats(runs: &[FaultStats]) -> FaultStats {
+    let mut total = FaultStats::default();
+    for s in runs {
+        total.merge(s);
+    }
+    total
+}
+
+/// One-line human-readable summary of a [`FaultStats`] record, used by the
+/// chaos harness and the benchmark reports.
+pub fn fault_summary_line(stats: &FaultStats) -> String {
+    format!(
+        "faults: {} injected ({} links degraded, {} ranks stalled, {} ranks crashed, \
+         {} notifies dropped), {} retries, {} timeouts, {} ops abandoned, {} topology rebuilds",
+        stats.total_injected(),
+        stats.links_degraded,
+        stats.ranks_stalled,
+        stats.ranks_crashed,
+        stats.notifies_dropped,
+        stats.retries,
+        stats.timeouts,
+        stats.ops_abandoned,
+        stats.topology_rebuilds,
+    )
 }
 
 #[cfg(test)]

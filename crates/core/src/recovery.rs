@@ -1,0 +1,289 @@
+//! Graceful degradation after rank failure.
+//!
+//! The paper's framework rebuilds its collective topology whenever the
+//! communicator changes; failure recovery is the same machinery under a
+//! harsher trigger. When a rank is detected dead (its peers' waits time
+//! out), the [`RecoveryManager`]:
+//!
+//! 1. shrinks the communicator to the survivors
+//!    ([`pdac_mpisim::Communicator::without_ranks`]), which mints a fresh
+//!    epoch;
+//! 2. invalidates every [`TopoCache`] entry of the dead epoch — a stale
+//!    tree routed through the dead rank must never be served again;
+//! 3. re-elects the root by the paper's set-leader rule (the preferred
+//!    leader if it survived, otherwise the smallest surviving rank);
+//! 4. rebuilds the broadcast tree / allgather ring over the survivors on
+//!    the next schedule request.
+//!
+//! Every failure path returns a typed [`CollectiveError`] carrying the
+//! fault seed, so a chaos run that goes wrong can be replayed exactly.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pdac_mpisim::{Communicator, ExecError};
+use pdac_simnet::{FaultStats, Schedule};
+
+use crate::adaptive::AdaptiveColl;
+use crate::sched::allreduce_schedule;
+use crate::topocache::TopoCache;
+
+/// Why a collective could not be completed (or could not even be
+/// attempted). Every variant carries the fault seed when one is known, so
+/// failure messages are replayable.
+#[derive(Debug)]
+pub enum CollectiveError {
+    /// Every rank of the communicator has failed; there is no survivor set
+    /// to rebuild over.
+    AllRanksFailed {
+        /// Fault seed of the run, if any.
+        seed: Option<u64>,
+    },
+    /// A rank outside the current survivor set was named (already marked
+    /// failed, or never existed).
+    UnknownRank {
+        /// The offending world rank.
+        rank: usize,
+        /// Number of ranks the original communicator had.
+        world_size: usize,
+    },
+    /// The executor failed in a way recovery does not handle (e.g. an
+    /// invalid schedule, or a permanent device failure that survived the
+    /// retry budget and a rebuild).
+    Exec {
+        /// Fault seed of the run, if any.
+        seed: Option<u64>,
+        /// The underlying executor error.
+        err: ExecError,
+    },
+    /// The watchdog fired: the collective neither completed nor returned a
+    /// typed error within the budget. This variant existing is the point —
+    /// a chaos test that would have hung reports this instead.
+    Hang {
+        /// Fault seed of the run, if any.
+        seed: Option<u64>,
+        /// The watchdog budget that elapsed.
+        watchdog: Duration,
+    },
+    /// The collective "completed" but the payload failed semantic
+    /// verification on the survivors.
+    Verify {
+        /// Fault seed of the run, if any.
+        seed: Option<u64>,
+        /// Human-readable mismatch description.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let seed = |s: &Option<u64>| match s {
+            Some(v) => format!(" (fault seed {v})"),
+            None => String::new(),
+        };
+        match self {
+            CollectiveError::AllRanksFailed { seed: s } => {
+                write!(f, "all ranks failed{}", seed(s))
+            }
+            CollectiveError::UnknownRank { rank, world_size } => {
+                write!(f, "rank {rank} is not a live rank of a {world_size}-rank world")
+            }
+            CollectiveError::Exec { seed: s, err } => {
+                write!(f, "unrecoverable execution failure{}: {err}", seed(s))
+            }
+            CollectiveError::Hang { seed: s, watchdog } => {
+                write!(f, "collective hung past the {watchdog:?} watchdog{}", seed(s))
+            }
+            CollectiveError::Verify { seed: s, detail } => {
+                write!(f, "survivor verification failed{}: {detail}", seed(s))
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
+/// Tracks failures against one communicator and rebuilds collective
+/// topology over the survivors.
+#[derive(Debug)]
+pub struct RecoveryManager {
+    coll: AdaptiveColl,
+    cache: Arc<TopoCache>,
+    comm: Communicator,
+    world_size: usize,
+    /// `world_of[r]` = the original (world) rank of current rank `r`.
+    world_of: Vec<usize>,
+    /// World ranks marked failed, in detection order.
+    failed: Vec<usize>,
+    stats: FaultStats,
+}
+
+impl RecoveryManager {
+    /// A manager over `comm` with no failures yet.
+    pub fn new(coll: AdaptiveColl, cache: Arc<TopoCache>, comm: Communicator) -> Self {
+        let world_size = comm.size();
+        RecoveryManager {
+            coll,
+            cache,
+            comm,
+            world_size,
+            world_of: (0..world_size).collect(),
+            failed: Vec::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The current (possibly shrunk) communicator.
+    pub fn comm(&self) -> &Communicator {
+        &self.comm
+    }
+
+    /// World ranks still alive, in rank order of the current communicator.
+    pub fn survivors(&self) -> &[usize] {
+        &self.world_of
+    }
+
+    /// World ranks marked failed, in detection order.
+    pub fn failed(&self) -> &[usize] {
+        &self.failed
+    }
+
+    /// Recovery accounting: topology rebuilds performed so far (other
+    /// counters are merged in by the chaos harness).
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Current rank of world rank `world`, if it is still alive.
+    pub fn current_rank_of(&self, world: usize) -> Option<usize> {
+        self.world_of.iter().position(|&w| w == world)
+    }
+
+    /// Marks `world` failed: invalidates every cached topology of the dead
+    /// epoch and shrinks the communicator to the survivors (minting a
+    /// fresh epoch, under which the next schedule request rebuilds).
+    pub fn mark_failed(&mut self, world: usize) -> Result<(), CollectiveError> {
+        let Some(current) = self.current_rank_of(world) else {
+            return Err(CollectiveError::UnknownRank { rank: world, world_size: self.world_size });
+        };
+        if self.comm.size() == 1 {
+            return Err(CollectiveError::AllRanksFailed { seed: None });
+        }
+        self.cache.invalidate_epoch(self.comm.epoch());
+        let (shrunk, map) = self.comm.without_ranks(&[current]);
+        self.world_of = map.into_iter().map(|old| self.world_of[old]).collect();
+        self.comm = shrunk;
+        self.failed.push(world);
+        self.stats.topology_rebuilds += 1;
+        Ok(())
+    }
+
+    /// Root re-election by the set-leader rule: the preferred world rank if
+    /// it survived, otherwise the smallest surviving world rank. Returns a
+    /// rank of the *current* communicator.
+    pub fn elect_root(&self, preferred_world: usize) -> usize {
+        // Survivors preserve world order, so the smallest surviving world
+        // rank sits at current rank 0.
+        self.current_rank_of(preferred_world).unwrap_or(0)
+    }
+
+    /// Distance-aware broadcast over the survivors, rooted by
+    /// [`Self::elect_root`]. Topology comes from the epoch-keyed cache.
+    pub fn bcast(&self, preferred_root_world: usize, bytes: usize) -> Schedule {
+        let root = self.elect_root(preferred_root_world);
+        self.coll.bcast_cached(&self.cache, &self.comm, root, bytes)
+    }
+
+    /// Distance-aware allgather over the survivors.
+    pub fn allgather(&self, block_bytes: usize) -> Schedule {
+        self.coll.allgather_cached(&self.cache, &self.comm, block_bytes)
+    }
+
+    /// Allreduce over the survivors: reduce up and broadcast down the
+    /// (cached) distance-aware tree rooted at the elected leader.
+    pub fn allreduce(&self, preferred_root_world: usize, bytes: usize) -> Schedule {
+        let root = self.elect_root(preferred_root_world);
+        let topo = self.coll.bcast_topology_choice(&self.comm, bytes);
+        let tree = self.coll.bcast_tree_cached(&self.cache, &self.comm, root, topo);
+        allreduce_schedule(&tree, bytes, &self.coll.policy().sched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{verify_allgather, verify_allreduce, verify_bcast};
+    use pdac_hwtopo::{machines, BindingPolicy};
+
+    fn manager(n: usize) -> RecoveryManager {
+        let m = Arc::new(machines::flat_smp(n));
+        let binding = BindingPolicy::Contiguous.bind(&m, n).unwrap();
+        let comm = Communicator::world(m, binding);
+        RecoveryManager::new(AdaptiveColl::default(), Arc::new(TopoCache::new()), comm)
+    }
+
+    #[test]
+    fn mark_failed_shrinks_and_remaps() {
+        let mut mgr = manager(8);
+        mgr.mark_failed(3).unwrap();
+        assert_eq!(mgr.survivors(), &[0, 1, 2, 4, 5, 6, 7]);
+        assert_eq!(mgr.comm().size(), 7);
+        mgr.mark_failed(0).unwrap();
+        assert_eq!(mgr.survivors(), &[1, 2, 4, 5, 6, 7]);
+        assert_eq!(mgr.failed(), &[3, 0]);
+        assert_eq!(mgr.stats().topology_rebuilds, 2);
+        // A dead rank cannot die twice.
+        assert!(matches!(
+            mgr.mark_failed(3),
+            Err(CollectiveError::UnknownRank { rank: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn leader_reelection_follows_set_leader_rule() {
+        let mut mgr = manager(6);
+        assert_eq!(mgr.elect_root(2), 2, "alive preferred leader keeps the role");
+        mgr.mark_failed(2).unwrap();
+        assert_eq!(mgr.elect_root(2), 0, "smallest surviving world rank takes over");
+        mgr.mark_failed(0).unwrap();
+        assert_eq!(mgr.survivors()[mgr.elect_root(0)], 1);
+        assert_eq!(mgr.elect_root(4), mgr.current_rank_of(4).unwrap());
+    }
+
+    #[test]
+    fn collectives_over_survivors_verify() {
+        let mut mgr = manager(8);
+        mgr.mark_failed(5).unwrap();
+        mgr.mark_failed(0).unwrap();
+        let s = mgr.bcast(0, 20_000);
+        assert_eq!(s.num_ranks, 6);
+        verify_bcast(&s, mgr.elect_root(0), 20_000).unwrap();
+        let s = mgr.allgather(1024);
+        verify_allgather(&s, 1024).unwrap();
+        let s = mgr.allreduce(0, 4096);
+        verify_allreduce(&s, 4096).unwrap();
+    }
+
+    #[test]
+    fn cache_never_serves_a_dead_epoch() {
+        let mut mgr = manager(8);
+        // Warm the cache for the full communicator.
+        let _ = mgr.bcast(0, 10_000);
+        let before = mgr.cache.stats();
+        assert_eq!(before.misses, 1);
+        mgr.mark_failed(1).unwrap();
+        assert!(mgr.cache.stats().invalidations >= 1, "dead epoch was purged");
+        // The rebuilt topology is a fresh miss under the new epoch, and it
+        // spans only the survivors.
+        let s = mgr.bcast(0, 10_000);
+        assert_eq!(s.num_ranks, 7);
+        assert_eq!(mgr.cache.stats().misses, before.misses + 1);
+    }
+
+    #[test]
+    fn exhausting_all_ranks_is_typed() {
+        let mut mgr = manager(2);
+        mgr.mark_failed(0).unwrap();
+        assert!(matches!(mgr.mark_failed(1), Err(CollectiveError::AllRanksFailed { .. })));
+    }
+}

@@ -134,6 +134,31 @@ impl Communicator {
         }
     }
 
+    /// The shrink operation of fault recovery: a communicator over every
+    /// rank *not* listed in `failed`, plus the mapping from new ranks to
+    /// the ranks they had here (`map[new] == old`). Survivors keep their
+    /// relative order, so the set-leader / root re-election rules can be
+    /// stated in terms of the old numbering. The new communicator mints a
+    /// fresh epoch — cached topologies for the old group are stale by
+    /// construction.
+    ///
+    /// # Panics
+    /// Panics if every rank failed (there is no empty communicator) or if
+    /// `failed` references an out-of-range rank.
+    pub fn without_ranks(&self, failed: &[usize]) -> (Self, Vec<usize>) {
+        assert!(
+            failed.iter().all(|&r| r < self.size()),
+            "failed rank out of range for {}",
+            self.name
+        );
+        let survivors: Vec<usize> =
+            (0..self.size()).filter(|r| !failed.contains(r)).collect();
+        assert!(!survivors.is_empty(), "all ranks of {} failed", self.name);
+        let mut child = self.subset(&survivors);
+        child.name = format!("{}.shrink", self.name);
+        (child, survivors)
+    }
+
     /// `MPI_Comm_split`: ranks with equal `color` group together, ordered by
     /// `(key, rank)`. Returns the children ordered by color.
     pub fn split(&self, color: impl Fn(usize) -> i64, key: impl Fn(usize) -> i64) -> Vec<Self> {
@@ -257,5 +282,28 @@ mod tests {
     #[should_panic(expected = "subset rank out of range")]
     fn subset_rejects_out_of_range() {
         world().subset(&[48]);
+    }
+
+    #[test]
+    fn without_ranks_shrinks_and_maps_back() {
+        let w = world();
+        let (s, map) = w.without_ranks(&[1, 5]);
+        assert_eq!(s.size(), 46);
+        assert_ne!(s.epoch(), w.epoch(), "shrink mints a fresh epoch");
+        assert!(!map.contains(&1) && !map.contains(&5));
+        // Survivors keep relative order and map back to their old cores.
+        for (new, &old) in map.iter().enumerate() {
+            assert_eq!(s.core_of(new), w.core_of(old));
+        }
+        assert_eq!(map[0], 0);
+        assert_eq!(map[1], 2, "rank 2 slides into slot 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "all ranks of")]
+    fn without_ranks_rejects_total_failure() {
+        let w = world();
+        let all: Vec<usize> = (0..w.size()).collect();
+        w.without_ranks(&all);
     }
 }

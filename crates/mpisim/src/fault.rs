@@ -1,0 +1,202 @@
+//! Executor-level fault injection and recovery policy.
+//!
+//! The simulator-side [`pdac_simnet::FaultPlan`] perturbs *modeled time*;
+//! this module perturbs the *real-thread* oracle: ranks that stall before
+//! their first operation, ranks that crash (their thread exits silently
+//! after a budget of operations), and completion notifications that are
+//! dropped on the floor. Combined with the [`RetryPolicy`] timeouts in
+//! [`crate::ThreadExecutor`], every injected fault either heals through
+//! bounded retry or surfaces as a typed [`crate::ExecError`] — never a
+//! hang.
+//!
+//! Everything is driven by an explicit `u64` seed: the same seed always
+//! produces the same plan, and the seed is embedded in every error message
+//! so a failing chaos run can be replayed exactly.
+
+use std::time::Duration;
+
+use pdac_simnet::Rank;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bounded-retry and timeout policy for the thread executor.
+///
+/// The default policy reproduces the pre-fault executor exactly: no
+/// retries, no deadline, waits block forever. The [`RetryPolicy::chaos`]
+/// preset is what the chaos harness uses: a few retries with exponential
+/// backoff and a per-operation deadline that converts a dead peer into a
+/// typed timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// KNEM pulls that fail are retried up to this many times.
+    pub max_retries: u32,
+    /// First-retry backoff; doubles on every further retry.
+    pub backoff_base: Duration,
+    /// Bound on any single dependency wait. `None` waits forever (the
+    /// pre-fault behavior); the executor forces a finite default when a
+    /// fault plan contains lethal faults so no run can hang.
+    pub op_deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_base: Duration::from_micros(50),
+            op_deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The chaos-harness preset: 3 retries, 50 µs base backoff, 500 ms
+    /// per-operation deadline.
+    pub fn chaos() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base: Duration::from_micros(50),
+            op_deadline: Some(Duration::from_millis(500)),
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based): exponential in the
+    /// base, capped at 64× so pathological retry counts stay bounded.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        self.backoff_base * 1u32.checked_shl(attempt.saturating_sub(1)).unwrap_or(64).min(64)
+    }
+}
+
+/// A seed-driven plan of executor-level faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecFaultPlan {
+    /// The seed that produced (or labels) this plan, quoted in errors.
+    pub seed: u64,
+    stalled: Vec<(Rank, Duration)>,
+    crashed: Vec<(Rank, u64)>,
+    drop_notifies: Vec<u64>,
+}
+
+impl ExecFaultPlan {
+    /// An empty plan labeled with `seed`; populate with the fluent methods.
+    pub fn new(seed: u64) -> Self {
+        ExecFaultPlan { seed, ..Default::default() }
+    }
+
+    /// A randomized plan over `num_ranks` ranks: crashes one rank not in
+    /// `exclude` after a small operation budget, and stalls another. The
+    /// same `(seed, num_ranks, exclude)` always yields the same plan.
+    pub fn seeded(seed: u64, num_ranks: usize, exclude: &[Rank]) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = ExecFaultPlan::new(seed);
+        let candidates: Vec<Rank> =
+            (0..num_ranks).filter(|r| !exclude.contains(r)).collect();
+        if !candidates.is_empty() {
+            let victim = candidates[rng.gen_range(0..candidates.len())];
+            // Budget 0 or 1: ranks execute few ops in small collectives
+            // (a bcast leaf performs a single pull), so larger budgets
+            // would rarely fire at all.
+            let after = rng.gen_range(0..2) as u64;
+            plan = plan.crash_rank(victim, after);
+            let others: Vec<Rank> =
+                candidates.iter().copied().filter(|&r| r != victim).collect();
+            if !others.is_empty() {
+                let slow = others[rng.gen_range(0..others.len())];
+                let micros = 50 * (1 + rng.gen_range(0..10) as u64);
+                plan = plan.stall_rank(slow, Duration::from_micros(micros));
+            }
+        }
+        plan
+    }
+
+    /// Rank `rank` sleeps `delay` before its first operation.
+    pub fn stall_rank(mut self, rank: Rank, delay: Duration) -> Self {
+        self.stalled.push((rank, delay));
+        self
+    }
+
+    /// Rank `rank`'s thread exits silently after `after_ops` operations —
+    /// no completion, no poison; peers discover it by timing out.
+    pub fn crash_rank(mut self, rank: Rank, after_ops: u64) -> Self {
+        self.crashed.push((rank, after_ops));
+        self
+    }
+
+    /// The `nth` notification (0-based, in schedule order) completes but
+    /// its completion is never published; dependents time out.
+    pub fn drop_notify(mut self, nth: u64) -> Self {
+        self.drop_notifies.push(nth);
+        self
+    }
+
+    /// Total stall for `rank` (zero when unaffected).
+    pub fn stall_of(&self, rank: Rank) -> Duration {
+        self.stalled.iter().filter(|(r, _)| *r == rank).map(|(_, d)| *d).sum()
+    }
+
+    /// Operation budget before `rank` crashes, if it crashes at all.
+    pub fn crash_of(&self, rank: Rank) -> Option<u64> {
+        self.crashed.iter().filter(|(r, _)| *r == rank).map(|(_, k)| *k).min()
+    }
+
+    /// Ranks this plan crashes.
+    pub fn crashed_ranks(&self) -> Vec<Rank> {
+        let mut v: Vec<Rank> = self.crashed.iter().map(|(r, _)| *r).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Indices (schedule order) of dropped notifications.
+    pub fn dropped_notifies(&self) -> &[u64] {
+        &self.drop_notifies
+    }
+
+    /// Whether the plan contains a fault that can only surface through a
+    /// timeout (crash or dropped notification). The executor forces a
+    /// finite deadline when this holds so the run cannot hang.
+    pub fn has_lethal_fault(&self) -> bool {
+        !self.crashed.is_empty() || !self.drop_notifies.is_empty()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.stalled.is_empty() && self.crashed.is_empty() && self.drop_notifies.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = ExecFaultPlan::seeded(99, 8, &[0]);
+        let b = ExecFaultPlan::seeded(99, 8, &[0]);
+        assert_eq!(a, b, "seed 99 must be reproducible");
+        assert!(!a.crashed_ranks().contains(&0), "root is excluded");
+        assert!(a.has_lethal_fault());
+    }
+
+    #[test]
+    fn seeded_plan_with_no_candidates_is_empty() {
+        let p = ExecFaultPlan::seeded(3, 2, &[0, 1]);
+        assert!(p.is_empty());
+        assert!(!p.has_lethal_fault());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy::chaos();
+        assert_eq!(p.backoff(1), Duration::from_micros(50));
+        assert_eq!(p.backoff(2), Duration::from_micros(100));
+        assert_eq!(p.backoff(3), Duration::from_micros(200));
+        assert_eq!(p.backoff(40), Duration::from_micros(50 * 64), "capped");
+    }
+
+    #[test]
+    fn crash_of_takes_smallest_budget() {
+        let p = ExecFaultPlan::new(1).crash_rank(3, 5).crash_rank(3, 2);
+        assert_eq!(p.crash_of(3), Some(2));
+        assert_eq!(p.crash_of(4), None);
+    }
+}

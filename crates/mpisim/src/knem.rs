@@ -86,10 +86,32 @@ pub struct KnemStats {
 /// fault-injection hook for exercising error propagation end-to-end (a real
 /// KNEM copy can fail mid-collective: region torn down, `-EFAULT`, module
 /// unloaded).
+///
+/// `fail_count` bounds the failure window: after `fail_after_copies`
+/// successful attempts, the next `fail_count` attempts fail and then the
+/// device heals — the shape a *transient* fault (a momentarily missing
+/// notification, a racing deregistration) presents to a retrying caller.
+/// A `fail_count` of [`u64::MAX`] (the [`Self::permanent_after`]
+/// constructor) never heals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {
-    /// Number of copies that succeed before every further copy fails.
+    /// Number of copies that succeed before the failure window opens.
     pub fail_after_copies: u64,
+    /// Number of consecutive attempts that fail before the device heals.
+    pub fail_count: u64,
+}
+
+impl FaultPlan {
+    /// Every copy after the first `n` attempts fails, forever.
+    pub fn permanent_after(n: u64) -> Self {
+        FaultPlan { fail_after_copies: n, fail_count: u64::MAX }
+    }
+
+    /// After `after` successful attempts, the next `count` attempts fail,
+    /// then copies succeed again — a retrying caller recovers.
+    pub fn transient(after: u64, count: u64) -> Self {
+        FaultPlan { fail_after_copies: after, fail_count: count }
+    }
 }
 
 /// Number of cookie-table shards. Cookies are dealt to shards round-robin
@@ -99,8 +121,8 @@ const COOKIE_SHARDS: usize = 16;
 
 /// The simulated device. Thread-safe: ranks register and pull concurrently.
 ///
-/// The cookie table is sharded: each cookie id maps to one of
-/// [`COOKIE_SHARDS`] independently locked hash maps, and the usage counters
+/// The cookie table is sharded: each cookie id maps to one of 16
+/// (`COOKIE_SHARDS`) independently locked hash maps, and the usage counters
 /// are atomics, so the only serialization left is between operations on
 /// cookies of the same shard.
 #[derive(Debug, Default)]
@@ -115,6 +137,7 @@ pub struct KnemDevice {
     copy_attempts: AtomicU64,
     bytes_copied: AtomicU64,
     lock_acquires: AtomicU64,
+    injected_failures: AtomicU64,
     fault: Option<FaultPlan>,
 }
 
@@ -165,9 +188,12 @@ impl KnemDevice {
         }
         if let Some(plan) = self.fault {
             let attempt = self.copy_attempts.fetch_add(1, Ordering::Relaxed);
-            if attempt >= plan.fail_after_copies {
+            if attempt >= plan.fail_after_copies
+                && attempt - plan.fail_after_copies < plan.fail_count
+            {
                 // Report the injected fault as a dead cookie (what a torn
                 // down region looks like to the caller).
+                self.injected_failures.fetch_add(1, Ordering::Relaxed);
                 return Err(KnemError::BadCookie(cookie));
             }
         }
@@ -196,6 +222,12 @@ impl KnemDevice {
             bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
             lock_acquires: self.lock_acquires.load(Ordering::Relaxed),
         }
+    }
+
+    /// Copy attempts that failed because of an injected fault (zero on a
+    /// device without a [`FaultPlan`]).
+    pub fn injected_failures(&self) -> u64 {
+        self.injected_failures.load(Ordering::Relaxed)
     }
 
     /// Number of live registrations.
@@ -265,6 +297,32 @@ mod tests {
         // A live-region sweep visits every shard once.
         assert_eq!(dev.live_regions(), COOKIE_SHARDS);
         assert_eq!(dev.stats().lock_acquires, 3 * COOKIE_SHARDS as u64);
+    }
+
+    #[test]
+    fn transient_fault_heals_after_fail_count_attempts() {
+        let dev = KnemDevice::with_faults(FaultPlan::transient(2, 3));
+        let c = dev.register(0, BufId::Send, 0, 64);
+        // Two successes, three injected failures, then healed.
+        assert!(dev.copy_from(c, 0, 8).is_ok());
+        assert!(dev.copy_from(c, 0, 8).is_ok());
+        for _ in 0..3 {
+            assert_eq!(dev.copy_from(c, 0, 8), Err(KnemError::BadCookie(c)));
+        }
+        assert!(dev.copy_from(c, 0, 8).is_ok());
+        assert_eq!(dev.injected_failures(), 3);
+        assert_eq!(dev.stats().copies, 3);
+    }
+
+    #[test]
+    fn permanent_fault_never_heals() {
+        let dev = KnemDevice::with_faults(FaultPlan::permanent_after(1));
+        let c = dev.register(0, BufId::Send, 0, 64);
+        assert!(dev.copy_from(c, 0, 8).is_ok());
+        for _ in 0..10 {
+            assert!(dev.copy_from(c, 0, 8).is_err());
+        }
+        assert_eq!(dev.injected_failures(), 10);
     }
 
     #[test]

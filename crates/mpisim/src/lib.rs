@@ -20,12 +20,14 @@
 #![warn(missing_docs)]
 
 pub mod comm;
+pub mod fault;
 pub mod knem;
 pub mod p2p;
 pub mod p2p_tuning;
 pub mod thread_exec;
 
 pub use comm::Communicator;
+pub use fault::{ExecFaultPlan, RetryPolicy};
 pub use knem::{Cookie, KnemDevice, KnemError, KnemStats};
 pub use p2p::{P2pConfig, SendOps};
 pub use p2p_tuning::{emit_send_tuned, DistanceTunedP2p, P2pParams};

@@ -8,29 +8,71 @@
 //! divergence between runs or against the expected collective semantics is
 //! a bug in the topology construction, not a race.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, RwLock};
-use pdac_simnet::{BufId, DataOp, Mech, OpKind, Rank, Schedule, ScheduleError};
+use pdac_simnet::{BufId, DataOp, FaultStats, Mech, OpKind, Rank, Schedule, ScheduleError};
 
+use crate::fault::{ExecFaultPlan, RetryPolicy};
 use crate::knem::{KnemDevice, KnemError, KnemStats};
+
+/// Deadline forced onto runs whose fault plan contains a lethal fault
+/// (crash or dropped notification) when the caller left
+/// [`RetryPolicy::op_deadline`] unset — a chaos run must never hang.
+const FORCED_CHAOS_DEADLINE: Duration = Duration::from_secs(2);
 
 /// Execution failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecError {
     /// The schedule failed validation.
     Schedule(ScheduleError),
-    /// A KNEM operation failed.
-    Knem(KnemError),
+    /// A KNEM operation failed after exhausting the retry budget.
+    Knem {
+        /// Rank whose operation failed.
+        rank: Rank,
+        /// Schedule-wide id of the failing operation.
+        op: usize,
+        /// The device error of the final attempt.
+        err: KnemError,
+        /// Retries burned before giving up.
+        retries: u32,
+    },
+    /// A dependency wait exceeded the per-operation deadline — the shape a
+    /// crashed peer or dropped notification presents to the survivors.
+    Timeout {
+        /// Rank that timed out.
+        rank: Rank,
+        /// Schedule-wide id of the operation whose dependency never came.
+        op: usize,
+        /// How long the rank actually waited.
+        waited: Duration,
+        /// The configured deadline it exceeded.
+        deadline: Duration,
+        /// Fault seed of the run, when a plan was attached.
+        seed: Option<u64>,
+    },
 }
 
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecError::Schedule(e) => write!(f, "invalid schedule: {e}"),
-            ExecError::Knem(e) => write!(f, "KNEM failure: {e}"),
+            ExecError::Knem { rank, op, err, retries } => {
+                write!(f, "KNEM failure at rank {rank} op {op} after {retries} retries: {err}")
+            }
+            ExecError::Timeout { rank, op, waited, deadline, seed } => {
+                write!(
+                    f,
+                    "rank {rank} op {op} timed out after {waited:?} (deadline {deadline:?})"
+                )?;
+                if let Some(s) = seed {
+                    write!(f, " (fault seed {s})")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -43,18 +85,15 @@ impl From<ScheduleError> for ExecError {
     }
 }
 
-impl From<KnemError> for ExecError {
-    fn from(e: KnemError) -> Self {
-        ExecError::Knem(e)
-    }
-}
-
 /// Final buffer contents plus device statistics.
 #[derive(Debug)]
 pub struct ExecResult {
     buffers: HashMap<(Rank, BufId), Vec<u8>>,
     /// KNEM usage over the run.
     pub knem_stats: KnemStats,
+    /// Fault-injection and recovery accounting (all zero on a fault-free,
+    /// default-policy run).
+    pub fault_stats: FaultStats,
 }
 
 impl ExecResult {
@@ -82,6 +121,18 @@ pub struct ThreadExecutor {
     /// Device override (fault injection, shared-device accounting); a fresh
     /// device is created per run when absent.
     device: Option<Arc<KnemDevice>>,
+    /// Retry/timeout policy; the default is the pre-fault behavior.
+    policy: RetryPolicy,
+    /// Executor-level fault plan injected into every run.
+    faults: Option<ExecFaultPlan>,
+}
+
+/// Why a dependency wait returned without the dependency completing.
+enum WaitFail {
+    /// Another rank failed and poisoned the run.
+    Poisoned,
+    /// The deadline elapsed; payload is the time actually waited.
+    TimedOut(Duration),
 }
 
 struct Sync_ {
@@ -92,16 +143,26 @@ struct Sync_ {
 }
 
 impl Sync_ {
-    fn wait(&self, dep: usize) -> Result<(), ()> {
+    fn wait(&self, dep: usize, deadline: Option<Duration>) -> Result<(), WaitFail> {
         if self.done[dep].load(Ordering::Acquire) {
             return Ok(());
         }
+        let start = Instant::now();
         let mut guard = self.lock.lock();
         while !self.done[dep].load(Ordering::Acquire) {
             if self.poisoned.load(Ordering::Acquire) {
-                return Err(());
+                return Err(WaitFail::Poisoned);
             }
-            self.cvar.wait(&mut guard);
+            match deadline {
+                None => self.cvar.wait(&mut guard),
+                Some(d) => {
+                    let elapsed = start.elapsed();
+                    if elapsed >= d {
+                        return Err(WaitFail::TimedOut(elapsed));
+                    }
+                    let _ = self.cvar.wait_for(&mut guard, d - elapsed);
+                }
+            }
         }
         Ok(())
     }
@@ -119,6 +180,32 @@ impl Sync_ {
     }
 }
 
+/// Shared atomic fault counters, snapshotted into [`FaultStats`] at the
+/// end of a run.
+#[derive(Default)]
+struct FaultCounters {
+    stalled: AtomicU64,
+    crashed: AtomicU64,
+    dropped: AtomicU64,
+    abandoned: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl FaultCounters {
+    fn snapshot(&self) -> FaultStats {
+        FaultStats {
+            ranks_stalled: self.stalled.load(Ordering::Relaxed),
+            ranks_crashed: self.crashed.load(Ordering::Relaxed),
+            notifies_dropped: self.dropped.load(Ordering::Relaxed),
+            ops_abandoned: self.abandoned.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            ..FaultStats::default()
+        }
+    }
+}
+
 impl ThreadExecutor {
     /// Creates an executor.
     pub fn new() -> Self {
@@ -128,7 +215,22 @@ impl ThreadExecutor {
     /// Creates an executor driving an explicit KNEM device (used for fault
     /// injection and cross-run accounting).
     pub fn with_device(device: Arc<KnemDevice>) -> Self {
-        ThreadExecutor { device: Some(device) }
+        ThreadExecutor { device: Some(device), ..Default::default() }
+    }
+
+    /// Sets the retry/timeout policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attaches an executor-level fault plan (stalls, crashes, dropped
+    /// notifications). If the plan contains a lethal fault and no
+    /// [`RetryPolicy::op_deadline`] is set, a finite default deadline is
+    /// forced so the run cannot hang.
+    pub fn with_faults(mut self, plan: ExecFaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Validates and runs `schedule`. Send buffers are initialized by
@@ -166,24 +268,107 @@ impl ThreadExecutor {
             cvar: Condvar::new(),
         });
 
+        let seed = self.faults.as_ref().map(|p| p.seed);
+        // Lethal faults (crashes, dropped notifications) only surface as
+        // timeouts, so they demand a finite deadline even when the caller
+        // set none — a chaos run must end in a typed error, not a hang.
+        let deadline = self.policy.op_deadline.or_else(|| {
+            self.faults
+                .as_ref()
+                .and_then(|p| p.has_lethal_fault().then_some(FORCED_CHAOS_DEADLINE))
+        });
+        // Map the plan's "nth notification" indices to schedule op ids.
+        let mut drop_ops: HashSet<usize> = HashSet::new();
+        if let Some(plan) = &self.faults {
+            let dropped: HashSet<u64> = plan.dropped_notifies().iter().copied().collect();
+            let mut notify_seq = 0u64;
+            for (id, op) in schedule.ops.iter().enumerate() {
+                if matches!(op.kind, OpKind::Notify { .. }) {
+                    if dropped.contains(&notify_seq) {
+                        drop_ops.insert(id);
+                    }
+                    notify_seq += 1;
+                }
+            }
+        }
+        let counters = Arc::new(FaultCounters::default());
+
         let mut first_error: Option<ExecError> = None;
         crossbeam::thread::scope(|scope| {
+            let drop_ops = &drop_ops;
             let mut handles = Vec::new();
-            for (_rank, ops) in per_rank.iter() {
+            for (&rank, ops) in per_rank.iter() {
                 let buffers = Arc::clone(&buffers);
                 let knem = Arc::clone(&knem);
                 let sync = Arc::clone(&sync);
+                let counters = Arc::clone(&counters);
+                let policy = self.policy;
+                let stall = self.faults.as_ref().map(|p| p.stall_of(rank)).unwrap_or_default();
+                let crash_after = self.faults.as_ref().and_then(|p| p.crash_of(rank));
                 let handle = scope.spawn(move |_| -> Result<(), ExecError> {
-                    for &id in ops {
-                        for &dep in &schedule.ops[id].deps {
-                            if sync.wait(dep).is_err() {
-                                // Another rank failed; unwind quietly.
+                    if !stall.is_zero() {
+                        counters.stalled.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(stall);
+                    }
+                    for (i, &id) in ops.iter().enumerate() {
+                        if let Some(k) = crash_after {
+                            if i as u64 >= k {
+                                // Silent crash: the thread exits without
+                                // completing or poisoning — survivors only
+                                // learn of it when their waits time out.
+                                counters.crashed.fetch_add(1, Ordering::Relaxed);
+                                counters
+                                    .abandoned
+                                    .fetch_add((ops.len() - i) as u64, Ordering::Relaxed);
                                 return Ok(());
                             }
                         }
-                        if let Err(e) = execute_op(&schedule.ops[id].kind, &buffers, &knem) {
-                            sync.poison();
-                            return Err(e);
+                        for &dep in &schedule.ops[id].deps {
+                            match sync.wait(dep, deadline) {
+                                Ok(()) => {}
+                                Err(WaitFail::Poisoned) => {
+                                    // Another rank failed; unwind quietly.
+                                    return Ok(());
+                                }
+                                Err(WaitFail::TimedOut(waited)) => {
+                                    counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                                    sync.poison();
+                                    return Err(ExecError::Timeout {
+                                        rank,
+                                        op: id,
+                                        waited,
+                                        deadline: deadline
+                                            .expect("timeout implies a deadline"),
+                                        seed,
+                                    });
+                                }
+                            }
+                        }
+                        let mut attempts = 0u32;
+                        loop {
+                            match execute_op(&schedule.ops[id].kind, &buffers, &knem) {
+                                Ok(()) => break,
+                                Err(_) if attempts < policy.max_retries => {
+                                    attempts += 1;
+                                    counters.retries.fetch_add(1, Ordering::Relaxed);
+                                    std::thread::sleep(policy.backoff(attempts));
+                                }
+                                Err(e) => {
+                                    sync.poison();
+                                    return Err(ExecError::Knem {
+                                        rank,
+                                        op: id,
+                                        err: e,
+                                        retries: attempts,
+                                    });
+                                }
+                            }
+                        }
+                        if drop_ops.contains(&id) {
+                            // The operation ran but its completion is never
+                            // published — a lost notification.
+                            counters.dropped.fetch_add(1, Ordering::Relaxed);
+                            continue;
                         }
                         sync.complete(id);
                     }
@@ -211,6 +396,7 @@ impl ThreadExecutor {
         Ok(ExecResult {
             buffers: buffers.into_iter().map(|(k, v)| (k, v.into_inner())).collect(),
             knem_stats: knem.stats(),
+            fault_stats: counters.snapshot(),
         })
     }
 }
@@ -265,7 +451,7 @@ fn execute_op(
     kind: &OpKind,
     buffers: &HashMap<(Rank, BufId), RwLock<Vec<u8>>>,
     knem: &KnemDevice,
-) -> Result<(), ExecError> {
+) -> Result<(), KnemError> {
     let &OpKind::Copy {
         src_rank,
         src_buf,
@@ -497,13 +683,14 @@ mod tests {
         for r in 2..8 {
             prev = b.copy((r - 1, BufId::Recv, 0), (r, BufId::Recv, 0), 256, Mech::Knem, r, vec![prev]);
         }
-        let device = std::sync::Arc::new(KnemDevice::with_faults(FaultPlan {
-            fail_after_copies: 2,
-        }));
+        let device = std::sync::Arc::new(KnemDevice::with_faults(FaultPlan::permanent_after(2)));
         let err = ThreadExecutor::with_device(std::sync::Arc::clone(&device))
             .run(&b.finish(), pattern)
             .unwrap_err();
-        assert!(matches!(err, ExecError::Knem(crate::knem::KnemError::BadCookie(_))));
+        assert!(matches!(
+            err,
+            ExecError::Knem { err: crate::knem::KnemError::BadCookie(_), retries: 0, .. }
+        ));
         assert_eq!(device.stats().copies, 2, "exactly the budgeted copies succeeded");
     }
 
@@ -512,12 +699,105 @@ mod tests {
         use crate::knem::FaultPlan;
         let mut b = ScheduleBuilder::new("t", 2);
         b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 64, Mech::Knem, 1, vec![]);
-        let device = std::sync::Arc::new(KnemDevice::with_faults(FaultPlan {
-            fail_after_copies: 0,
-        }));
+        let device = std::sync::Arc::new(KnemDevice::with_faults(FaultPlan::permanent_after(0)));
         let err =
             ThreadExecutor::with_device(device).run(&b.finish(), pattern).unwrap_err();
-        assert!(matches!(err, ExecError::Knem(_)));
+        assert!(matches!(err, ExecError::Knem { .. }));
+    }
+
+    #[test]
+    fn transient_knem_fault_heals_through_retries() {
+        use crate::fault::RetryPolicy;
+        use crate::knem::FaultPlan;
+        let mut b = ScheduleBuilder::new("t", 2);
+        b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 256, Mech::Knem, 1, vec![]);
+        // First two attempts fail, then the device heals: with 3 retries
+        // the copy succeeds and the payload arrives intact.
+        let device = std::sync::Arc::new(KnemDevice::with_faults(FaultPlan::transient(0, 2)));
+        let res = ThreadExecutor::with_device(std::sync::Arc::clone(&device))
+            .with_policy(RetryPolicy::chaos())
+            .run(&b.finish(), pattern)
+            .unwrap();
+        assert_eq!(res.buffer(1, BufId::Recv), &pattern(0, 256)[..]);
+        assert_eq!(res.fault_stats.retries, 2);
+        assert_eq!(device.injected_failures(), 2);
+    }
+
+    #[test]
+    fn crashed_rank_surfaces_as_timeout_not_hang() {
+        use crate::fault::{ExecFaultPlan, RetryPolicy};
+        let mut b = ScheduleBuilder::new("t", 3);
+        let a = b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 64, Mech::Memcpy, 1, vec![]);
+        b.copy((1, BufId::Recv, 0), (2, BufId::Recv, 0), 64, Mech::Memcpy, 2, vec![a]);
+        let policy = RetryPolicy {
+            op_deadline: Some(std::time::Duration::from_millis(50)),
+            ..RetryPolicy::chaos()
+        };
+        let err = ThreadExecutor::new()
+            .with_policy(policy)
+            .with_faults(ExecFaultPlan::new(17).crash_rank(1, 0))
+            .run(&b.finish(), pattern)
+            .unwrap_err();
+        match err {
+            ExecError::Timeout { rank, seed, .. } => {
+                assert_eq!(rank, 2, "the surviving dependent times out");
+                assert_eq!(seed, Some(17), "seed is quoted for replay");
+            }
+            other => panic!("expected Timeout, got {other}"),
+        }
+    }
+
+    #[test]
+    fn crash_plan_without_deadline_gets_forced_deadline() {
+        use crate::fault::ExecFaultPlan;
+        let mut b = ScheduleBuilder::new("t", 2);
+        let a = b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 64, Mech::Memcpy, 1, vec![]);
+        let n = b.notify(1, 0, vec![a]);
+        b.copy((0, BufId::Send, 0), (0, BufId::Recv, 0), 64, Mech::Memcpy, 0, vec![n]);
+        // Default policy has no deadline; the lethal plan must still
+        // terminate (forced deadline) instead of hanging forever.
+        let err = ThreadExecutor::new()
+            .with_faults(ExecFaultPlan::new(23).crash_rank(1, 0))
+            .run(&b.finish(), pattern)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Timeout { .. }));
+    }
+
+    #[test]
+    fn dropped_notify_times_out_dependents() {
+        use crate::fault::{ExecFaultPlan, RetryPolicy};
+        let mut b = ScheduleBuilder::new("t", 2);
+        let a = b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 64, Mech::Memcpy, 1, vec![]);
+        let n = b.notify(1, 0, vec![a]);
+        b.copy((0, BufId::Send, 0), (0, BufId::Recv, 0), 64, Mech::Memcpy, 0, vec![n]);
+        let policy = RetryPolicy {
+            op_deadline: Some(std::time::Duration::from_millis(50)),
+            ..RetryPolicy::chaos()
+        };
+        let err = ThreadExecutor::new()
+            .with_policy(policy)
+            .with_faults(ExecFaultPlan::new(31).drop_notify(0))
+            .run(&b.finish(), pattern)
+            .unwrap_err();
+        match err {
+            ExecError::Timeout { rank, .. } => assert_eq!(rank, 0),
+            other => panic!("expected Timeout, got {other}"),
+        }
+    }
+
+    #[test]
+    fn stalled_rank_still_completes_correctly() {
+        use crate::fault::ExecFaultPlan;
+        let mut b = ScheduleBuilder::new("t", 2);
+        b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 256, Mech::Memcpy, 1, vec![]);
+        let res = ThreadExecutor::new()
+            .with_faults(
+                ExecFaultPlan::new(5).stall_rank(1, std::time::Duration::from_millis(5)),
+            )
+            .run(&b.finish(), pattern)
+            .unwrap();
+        assert_eq!(res.buffer(1, BufId::Recv), &pattern(0, 256)[..]);
+        assert_eq!(res.fault_stats.ranks_stalled, 1);
     }
 
     #[test]

@@ -34,13 +34,14 @@
 //! solve at every event (the reference the property tests compare against).
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 
 use pdac_hwtopo::{core_distance, Binding, Machine};
 
+use crate::fault::{Fault, FaultPlan, FaultStats, SimError};
 use crate::resource::{Calibration, Resource};
 use crate::route::{copy_route, Route};
-use crate::schedule::{OpId, OpKind, Schedule, ScheduleError};
+use crate::schedule::{OpId, OpKind, Schedule};
 
 /// Simulation options.
 #[derive(Debug, Clone, Copy)]
@@ -85,6 +86,8 @@ pub struct SimReport {
     pub rank_busy: Vec<f64>,
     /// Rate-solver invocation counts (incremental vs full vs skipped).
     pub solver_stats: SolverStats,
+    /// Fault-injection accounting (all zero when no plan was attached).
+    pub fault_stats: FaultStats,
 }
 
 impl SimReport {
@@ -108,6 +111,84 @@ pub struct SimExecutor<'a> {
     /// Force the whole-flow-set solve at every event instead of the
     /// incremental component-scoped one (reference semantics for tests).
     full_rates: bool,
+    /// Seed-driven faults injected into this executor's runs.
+    fault: Option<FaultPlan>,
+    /// Simulated-time budget; exceeding it returns a typed error.
+    deadline: Option<f64>,
+}
+
+/// Per-run fault-injection state derived from a [`FaultPlan`]. With no
+/// plan every table is inert (zero stalls, empty degrade map, no crash
+/// thresholds), so the fault-free path is bit-identical to the original
+/// engine.
+struct FaultState {
+    /// Capacity multiplier per degraded resource.
+    degrade: HashMap<Resource, f64>,
+    /// Extra per-operation latency per executor.
+    stall: Vec<f64>,
+    /// Ops an executor starts before dying.
+    crash_after: Vec<Option<u64>>,
+    crashed: Vec<bool>,
+    ops_started: Vec<u64>,
+    /// Notification sequence numbers to lose.
+    drop_nth: HashSet<u64>,
+    notify_seq: u64,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    fn from_plan(plan: Option<&FaultPlan>, nranks: usize) -> FaultState {
+        let mut fs = FaultState {
+            degrade: HashMap::new(),
+            stall: vec![0.0; nranks],
+            crash_after: vec![None; nranks],
+            crashed: vec![false; nranks],
+            ops_started: vec![0; nranks],
+            drop_nth: HashSet::new(),
+            notify_seq: 0,
+            stats: FaultStats::default(),
+        };
+        let Some(plan) = plan else { return fs };
+        for fault in plan.faults() {
+            match *fault {
+                Fault::DegradeLink { resource, factor } => {
+                    let f = fs.degrade.entry(resource).or_insert(1.0);
+                    *f = (*f * factor).max(crate::fault::MIN_DEGRADE_FACTOR);
+                    fs.stats.links_degraded += 1;
+                }
+                Fault::StallRank { rank, delay } if rank < nranks => {
+                    fs.stall[rank] += delay;
+                    fs.stats.ranks_stalled += 1;
+                }
+                Fault::CrashRank { rank, after_ops } if rank < nranks => {
+                    let k = fs.crash_after[rank].get_or_insert(after_ops);
+                    *k = (*k).min(after_ops);
+                }
+                Fault::DropNotify { nth } => {
+                    fs.drop_nth.insert(nth);
+                }
+                // Faults addressing ranks outside this schedule are inert.
+                Fault::StallRank { .. } | Fault::CrashRank { .. } => {}
+            }
+        }
+        fs
+    }
+
+    /// Records one op start by `rank`. Returns `true` when the rank has
+    /// crashed (the op must be abandoned instead of started).
+    fn note_op_start(&mut self, rank: usize) -> bool {
+        if let Some(k) = self.crash_after[rank] {
+            if self.ops_started[rank] >= k {
+                if !self.crashed[rank] {
+                    self.crashed[rank] = true;
+                    self.stats.ranks_crashed += 1;
+                }
+                return true;
+            }
+        }
+        self.ops_started[rank] += 1;
+        false
+    }
 }
 
 /// Total-order f64 key for the timer heap.
@@ -191,13 +272,17 @@ impl RateSolver {
         }
     }
 
-    fn intern(&mut self, r: Resource, cal: &Calibration) -> usize {
+    /// Interns a resource, computing its capacity once. Degraded resources
+    /// get their capacity scaled here, so both the incremental and the
+    /// full solver see identical (bit-exact) caps.
+    fn intern(&mut self, r: Resource, cal: &Calibration, degrade: &HashMap<Resource, f64>) -> usize {
         if let Some(&d) = self.index.get(&r) {
             return d;
         }
         let d = self.caps.len();
         self.index.insert(r, d);
-        self.caps.push(cal.capacity(r));
+        let factor = degrade.get(&r).copied().unwrap_or(1.0);
+        self.caps.push(cal.capacity(r) * factor);
         self.incidence.push(Vec::new());
         self.res_mark.push(0);
         self.residual.push(0.0);
@@ -206,10 +291,16 @@ impl RateSolver {
     }
 
     /// Registers an arriving flow; returns its dense route.
-    fn add_flow(&mut self, id: OpId, route: &Route, cal: &Calibration) -> Vec<(usize, f64)> {
+    fn add_flow(
+        &mut self,
+        id: OpId,
+        route: &Route,
+        cal: &Calibration,
+        degrade: &HashMap<Resource, f64>,
+    ) -> Vec<(usize, f64)> {
         let mut droute = Vec::with_capacity(route.len());
         for &(r, m) in route {
-            let d = self.intern(r, cal);
+            let d = self.intern(r, cal, degrade);
             self.incidence[d].push(id);
             self.touched.push(d);
             droute.push((d, f64::from(m)));
@@ -418,6 +509,8 @@ impl<'a> SimExecutor<'a> {
             cal: Calibration::for_machine(machine),
             config,
             full_rates: false,
+            fault: None,
+            deadline: None,
         }
     }
 
@@ -428,7 +521,7 @@ impl<'a> SimExecutor<'a> {
         cal: Calibration,
         config: SimConfig,
     ) -> Self {
-        SimExecutor { machine, binding, cal, config, full_rates: false }
+        SimExecutor { machine, binding, cal, config, full_rates: false, fault: None, deadline: None }
     }
 
     /// Disables the incremental solver: every event re-solves the whole
@@ -439,13 +532,37 @@ impl<'a> SimExecutor<'a> {
         self
     }
 
+    /// Attaches a seed-driven fault plan: degraded resources, stalled and
+    /// crashing ranks, and dropped notifications are injected into every
+    /// subsequent [`Self::run`]. Runs that cannot finish return a typed
+    /// [`SimError`] instead of looping or panicking.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Bounds the simulated clock: a run whose next event would pass
+    /// `seconds` returns [`SimError::DeadlineExceeded`].
+    pub fn with_deadline(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0, "deadline must be positive");
+        self.deadline = Some(seconds);
+        self
+    }
+
     /// The calibration in use.
     pub fn calibration(&self) -> &Calibration {
         &self.cal
     }
 
     /// Validates and simulates `schedule`, returning timing and traffic.
-    pub fn run(&self, schedule: &Schedule) -> Result<SimReport, ScheduleError> {
+    ///
+    /// With a [`FaultPlan`] attached the run may instead return a typed
+    /// [`SimError`]: a crashed rank or dropped notification that leaves
+    /// dependent operations unreachable surfaces as [`SimError::Stalled`],
+    /// and a configured deadline that would be crossed surfaces as
+    /// [`SimError::DeadlineExceeded`]. Fault-free runs are bit-identical to
+    /// the pre-fault engine.
+    pub fn run(&self, schedule: &Schedule) -> Result<SimReport, SimError> {
         schedule.validate()?;
         assert!(
             schedule.num_ranks <= self.binding.num_ranks(),
@@ -479,6 +596,8 @@ impl<'a> SimExecutor<'a> {
         let mut solver_stats = SolverStats::default();
 
         let mut now = 0.0f64;
+        let mut fs = FaultState::from_plan(self.fault.as_ref(), nranks);
+        let seed = self.fault.as_ref().map(|p| p.seed);
 
         // Regions hot in their owner's cache hierarchy: written by a
         // completed *user-space* memcpy. KNEM copies run inside the kernel
@@ -498,15 +617,30 @@ impl<'a> SimExecutor<'a> {
                        ready: &mut Vec<std::collections::BTreeSet<OpId>>,
                        timers: &mut BinaryHeap<Reverse<(Time, OpId)>>,
                        started_at: &mut Vec<f64>,
+                       fs: &mut FaultState,
                        schedule: &Schedule,
                        this: &Self| {
             match schedule.ops[id].kind {
                 OpKind::Copy { exec, .. } => {
+                    if fs.crashed[exec] {
+                        fs.stats.ops_abandoned += 1;
+                        return;
+                    }
                     ready[exec].insert(id);
                 }
-                OpKind::Notify { .. } => {
+                OpKind::Notify { from, .. } => {
+                    if fs.note_op_start(from) {
+                        fs.stats.ops_abandoned += 1;
+                        return;
+                    }
+                    let seq = fs.notify_seq;
+                    fs.notify_seq += 1;
+                    if fs.drop_nth.contains(&seq) {
+                        fs.stats.notifies_dropped += 1;
+                        return;
+                    }
                     started_at[id] = now;
-                    let lat = this.latency_of(&schedule.ops[id].kind);
+                    let lat = this.latency_of(&schedule.ops[id].kind) + fs.stall[from];
                     timers.push(Reverse((Time(now + lat), id)));
                 }
             }
@@ -514,7 +648,7 @@ impl<'a> SimExecutor<'a> {
 
         for (id, _) in schedule.ops.iter().enumerate() {
             if dep_remaining[id] == 0 {
-                enqueue(id, now, &mut ready, &mut timers, &mut started_at, schedule, self);
+                enqueue(id, now, &mut ready, &mut timers, &mut started_at, &mut fs, schedule, self);
             }
         }
 
@@ -524,22 +658,28 @@ impl<'a> SimExecutor<'a> {
                            busy: &mut Vec<Option<OpId>>,
                            started_at: &mut Vec<f64>,
                            timers: &mut BinaryHeap<Reverse<(Time, OpId)>>,
+                           fs: &mut FaultState,
                            schedule: &Schedule,
                            this: &Self| {
             for r in 0..ready.len() {
                 if busy[r].is_none() {
                     if let Some(&id) = ready[r].iter().next() {
+                        if fs.note_op_start(r) {
+                            fs.stats.ops_abandoned += ready[r].len() as u64;
+                            ready[r].clear();
+                            continue;
+                        }
                         ready[r].remove(&id);
                         busy[r] = Some(id);
                         started_at[id] = now;
-                        let lat = this.latency_of(&schedule.ops[id].kind);
+                        let lat = this.latency_of(&schedule.ops[id].kind) + fs.stall[r];
                         timers.push(Reverse((Time(now + lat), id)));
                     }
                 }
             }
         };
 
-        start_ready(now, &mut ready, &mut busy, &mut started_at, &mut timers, schedule, self);
+        start_ready(now, &mut ready, &mut busy, &mut started_at, &mut timers, &mut fs, schedule, self);
 
         while done < n {
             // Next event time: earliest timer or earliest flow completion.
@@ -553,9 +693,30 @@ impl<'a> SimExecutor<'a> {
                 (Some(a), None) => a,
                 (None, Some(b)) => b,
                 (None, None) => {
-                    unreachable!("validated schedule cannot stall with {done}/{n} ops done")
+                    // A fault-free validated schedule can never get here;
+                    // dropped notifications and crashed ranks can orphan the
+                    // remaining dependency graph.
+                    return Err(SimError::Stalled {
+                        seed,
+                        completed: done,
+                        total: n,
+                        at: now,
+                        fault_stats: fs.stats,
+                    });
                 }
             };
+
+            if let Some(deadline) = self.deadline {
+                if t_next > deadline {
+                    return Err(SimError::DeadlineExceeded {
+                        seed,
+                        deadline,
+                        completed: done,
+                        total: n,
+                        fault_stats: fs.stats,
+                    });
+                }
+            }
 
             // Advance flows to t_next.
             let dt = t_next - now;
@@ -588,7 +749,7 @@ impl<'a> SimExecutor<'a> {
                             self.config.allow_cache,
                             src_hot,
                         );
-                        let droute = solver.add_flow(id, &route, &self.cal);
+                        let droute = solver.add_flow(id, &route, &self.cal, &fs.degrade);
                         flows.insert(
                             id,
                             Flow { route, droute, remaining: *bytes as f64, rate: 0.0, bytes: *bytes },
@@ -633,12 +794,30 @@ impl<'a> SimExecutor<'a> {
                 for &dep in &dependents[id] {
                     dep_remaining[dep] -= 1;
                     if dep_remaining[dep] == 0 {
-                        enqueue(dep, now, &mut ready, &mut timers, &mut started_at, schedule, self);
+                        enqueue(
+                            dep,
+                            now,
+                            &mut ready,
+                            &mut timers,
+                            &mut started_at,
+                            &mut fs,
+                            schedule,
+                            self,
+                        );
                     }
                 }
             }
 
-            start_ready(now, &mut ready, &mut busy, &mut started_at, &mut timers, schedule, self);
+            start_ready(
+                now,
+                &mut ready,
+                &mut busy,
+                &mut started_at,
+                &mut timers,
+                &mut fs,
+                schedule,
+                self,
+            );
             solver.solve_event(&mut flows, self.full_rates, &mut solver_stats);
         }
 
@@ -649,6 +828,7 @@ impl<'a> SimExecutor<'a> {
             resource_bytes,
             rank_busy,
             solver_stats,
+            fault_stats: fs.stats,
         })
     }
 
@@ -773,6 +953,154 @@ mod tests {
         assert!((rep.total_time - (2.0 * copy + notify)).abs() / copy < 1e-6);
         assert!(rep.op_finish[0] < rep.op_finish[1]);
         assert!(rep.op_finish[1] < rep.op_finish[2]);
+    }
+
+    fn ig_exec() -> (pdac_hwtopo::Machine, Binding) {
+        let ig = machines::ig();
+        let binding = Binding::identity(&ig);
+        (ig, binding)
+    }
+
+    fn chain_schedule() -> Schedule {
+        let mut b = ScheduleBuilder::new("fault-chain", 48);
+        let a = b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 1 << 16, Mech::Memcpy, 1, vec![]);
+        let n = b.notify(1, 2, vec![a]);
+        b.copy((1, BufId::Recv, 0), (2, BufId::Recv, 0), 1 << 16, Mech::Memcpy, 2, vec![n]);
+        b.finish()
+    }
+
+    #[test]
+    fn fault_free_plan_matches_plain_run() {
+        let (ig, binding) = ig_exec();
+        let s = chain_schedule();
+        let plain = SimExecutor::new(&ig, &binding, SimConfig::default()).run(&s).unwrap();
+        let faulted = SimExecutor::new(&ig, &binding, SimConfig::default())
+            .with_fault_plan(FaultPlan::new(7))
+            .run(&s)
+            .unwrap();
+        assert_eq!(plain.total_time, faulted.total_time, "empty plan must be bit-exact");
+        assert_eq!(plain.op_finish, faulted.op_finish);
+        assert_eq!(faulted.fault_stats, FaultStats::default());
+    }
+
+    #[test]
+    fn stalled_rank_delays_completion() {
+        let (ig, binding) = ig_exec();
+        let s = chain_schedule();
+        let base = SimExecutor::new(&ig, &binding, SimConfig::default()).run(&s).unwrap();
+        let delay = 3e-4;
+        let rep = SimExecutor::new(&ig, &binding, SimConfig::default())
+            .with_fault_plan(FaultPlan::new(7).stall_rank(1, delay))
+            .run(&s)
+            .unwrap();
+        // Rank 1 executes the first copy and sends the notify: two stalls.
+        let expect = base.total_time + 2.0 * delay;
+        assert!(
+            (rep.total_time - expect).abs() < 1e-9,
+            "{} vs {}",
+            rep.total_time,
+            expect
+        );
+        assert_eq!(rep.fault_stats.ranks_stalled, 1);
+    }
+
+    #[test]
+    fn degraded_link_slows_flows_and_keeps_modes_bit_exact() {
+        let (ig, binding) = ig_exec();
+        let cal = Calibration::ig();
+        let mut b = ScheduleBuilder::new("t", 48);
+        b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 1 << 20, Mech::Memcpy, 1, vec![]);
+        let s = b.finish();
+        let plan = FaultPlan::new(3).degrade_link(Resource::Cache(0), 0.5);
+        let rep = SimExecutor::new(&ig, &binding, SimConfig::default())
+            .with_fault_plan(plan.clone())
+            .run(&s)
+            .unwrap();
+        let full = SimExecutor::new(&ig, &binding, SimConfig::default())
+            .with_fault_plan(plan)
+            .with_full_rates()
+            .run(&s)
+            .unwrap();
+        // 1MB fits the shared L3 and routes through the cache domain; at half
+        // capacity the cache becomes the bottleneck below the core engine.
+        let expect_rate = cal.core_bw.min(cal.cache_bw * 0.5);
+        let expect = cal.op_latency(1, false) + (1 << 20) as f64 / expect_rate;
+        assert!((rep.total_time - expect).abs() / expect < 1e-6);
+        assert_eq!(rep.total_time.to_bits(), full.total_time.to_bits());
+        assert_eq!(rep.fault_stats.links_degraded, 1);
+    }
+
+    #[test]
+    fn crashed_rank_stalls_with_typed_error() {
+        let (ig, binding) = ig_exec();
+        let s = chain_schedule();
+        let err = SimExecutor::new(&ig, &binding, SimConfig::default())
+            .with_fault_plan(FaultPlan::new(11).crash_rank(1, 0))
+            .run(&s)
+            .unwrap_err();
+        match err {
+            SimError::Stalled { seed, completed, total, fault_stats, .. } => {
+                assert_eq!(seed, Some(11));
+                assert!(completed < total);
+                assert_eq!(fault_stats.ranks_crashed, 1);
+                assert!(fault_stats.ops_abandoned >= 1);
+            }
+            other => panic!("expected Stalled, got {other}"),
+        }
+    }
+
+    #[test]
+    fn dropped_notify_stalls_with_typed_error() {
+        let (ig, binding) = ig_exec();
+        let s = chain_schedule();
+        let err = SimExecutor::new(&ig, &binding, SimConfig::default())
+            .with_fault_plan(FaultPlan::new(5).drop_notify(0))
+            .run(&s)
+            .unwrap_err();
+        match err {
+            SimError::Stalled { seed, fault_stats, .. } => {
+                assert_eq!(seed, Some(5));
+                assert_eq!(fault_stats.notifies_dropped, 1);
+            }
+            other => panic!("expected Stalled, got {other}"),
+        }
+    }
+
+    #[test]
+    fn deadline_exceeded_is_typed() {
+        let (ig, binding) = ig_exec();
+        let s = chain_schedule();
+        let err = SimExecutor::new(&ig, &binding, SimConfig::default())
+            .with_deadline(1e-9)
+            .run(&s)
+            .unwrap_err();
+        match err {
+            SimError::DeadlineExceeded { seed, deadline, completed, total, .. } => {
+                assert_eq!(seed, None);
+                assert_eq!(deadline, 1e-9);
+                assert!(completed < total);
+            }
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn seeded_plan_is_reproducible_in_engine() {
+        let (ig, binding) = ig_exec();
+        let s = chain_schedule();
+        let run = |seed: u64| {
+            SimExecutor::new(&ig, &binding, SimConfig::default())
+                .with_fault_plan(FaultPlan::seeded(seed, 48))
+                .with_deadline(10.0)
+                .run(&s)
+        };
+        let a = run(42);
+        let b = run(42);
+        match (&a, &b) {
+            (Ok(x), Ok(y)) => assert_eq!(x.total_time.to_bits(), y.total_time.to_bits()),
+            (Err(x), Err(y)) => assert_eq!(format!("{x}"), format!("{y}")),
+            _ => panic!("same seed must give same outcome: {a:?} vs {b:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! Deterministic, seed-driven fault injection for the simulated runtime.
+//!
+//! The paper's collectives assume a static, healthy machine; production
+//! runtimes cannot. This module defines the fault taxonomy the engine (and
+//! the real-thread executor in `pdac-mpisim`) injects, the seeded
+//! [`FaultPlan`] that makes every chaos run reproducible from one `u64`,
+//! and the [`FaultStats`] observability record threaded through
+//! [`crate::SimReport`] and the higher layers' execution results.
+//!
+//! Every fault is derived from an explicit seed — there is no ambient
+//! entropy anywhere in a fault path — so a failing chaos test prints its
+//! seed and replays bit-identically.
+
+use crate::resource::Resource;
+use crate::schedule::ScheduleError;
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Multiplies the capacity of one resource by `factor` (clamped to a
+    /// tiny positive floor, so an extreme degrade models a partitioned
+    /// link without producing infinite transfer times).
+    DegradeLink {
+        /// The degraded resource.
+        resource: Resource,
+        /// Capacity multiplier in `(0, 1]`.
+        factor: f64,
+    },
+    /// Adds `delay` seconds of latency to every operation `rank` executes
+    /// (an overloaded or descheduled process).
+    StallRank {
+        /// The stalled rank.
+        rank: usize,
+        /// Extra per-operation latency, seconds.
+        delay: f64,
+    },
+    /// `rank` stops executing after starting `after_ops` operations; its
+    /// remaining operations are abandoned and every dependent op stalls.
+    CrashRank {
+        /// The crashing rank.
+        rank: usize,
+        /// Operations the rank starts before dying.
+        after_ops: u64,
+    },
+    /// The `nth` notification enqueued over the whole run is silently lost
+    /// (a dropped KNEM out-of-band notification).
+    DropNotify {
+        /// Zero-based index into the run's notification sequence.
+        nth: u64,
+    },
+}
+
+/// Capacity multipliers are floored here so a "partition" stays a finite
+/// (just absurdly slow) link.
+pub const MIN_DEGRADE_FACTOR: f64 = 1e-9;
+
+/// A reproducible set of faults, owned by one seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// The seed this plan derives from — quoted by every failure message so
+    /// any chaos run replays exactly.
+    pub seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan carrying `seed` (faults added fluently).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, faults: Vec::new() }
+    }
+
+    /// The canonical chaos plan of the acceptance suite, derived entirely
+    /// from `seed`: one degraded link, one stalled rank, and one crashed
+    /// rank, never rank 0 (so a root-at-0 collective keeps its data
+    /// source), plus one dropped notification.
+    pub fn seeded(seed: u64, num_ranks: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new(seed);
+        // Degrade a memory controller or the board link to 5–50% capacity.
+        let factor = 0.05 + 0.45 * rng.gen_f64();
+        let resource =
+            if rng.gen_range(0..2) == 0 { Resource::Mc(0) } else { Resource::BoardLink };
+        plan = plan.degrade_link(resource, factor);
+        if num_ranks > 1 {
+            let stalled = rng.gen_range(1..num_ranks);
+            plan = plan.stall_rank(stalled, 1e-6 + 1e-4 * rng.gen_f64());
+        }
+        if num_ranks > 2 {
+            let mut crashed = rng.gen_range(1..num_ranks);
+            // Keep the stalled and crashed ranks distinct so both faults
+            // are observable.
+            if let Some(Fault::StallRank { rank, .. }) = plan.faults.get(1).copied() {
+                if crashed == rank {
+                    crashed = 1 + (crashed % (num_ranks - 1));
+                }
+            }
+            plan = plan.crash_rank(crashed, rng.gen_range(0..4) as u64);
+        }
+        plan.drop_notify(rng.gen_range(0..8) as u64)
+    }
+
+    /// Adds a link-degrade fault; `factor` is clamped into
+    /// `[MIN_DEGRADE_FACTOR, 1]`.
+    pub fn degrade_link(mut self, resource: Resource, factor: f64) -> Self {
+        let factor = factor.clamp(MIN_DEGRADE_FACTOR, 1.0);
+        self.faults.push(Fault::DegradeLink { resource, factor });
+        self
+    }
+
+    /// Adds a rank-stall fault (`delay` seconds per operation).
+    pub fn stall_rank(mut self, rank: usize, delay: f64) -> Self {
+        assert!(delay >= 0.0, "stall delay must be non-negative");
+        self.faults.push(Fault::StallRank { rank, delay });
+        self
+    }
+
+    /// Adds a rank-crash fault at step `after_ops`.
+    pub fn crash_rank(mut self, rank: usize, after_ops: u64) -> Self {
+        self.faults.push(Fault::CrashRank { rank, after_ops });
+        self
+    }
+
+    /// Drops the `nth` notification of the run.
+    pub fn drop_notify(mut self, nth: u64) -> Self {
+        self.faults.push(Fault::DropNotify { nth });
+        self
+    }
+
+    /// The faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The rank crashed by this plan, if any (chaos harnesses use it to
+    /// attribute a detected failure to its culprit).
+    pub fn crashed_rank(&self) -> Option<usize> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::CrashRank { rank, .. } => Some(*rank),
+            _ => None,
+        })
+    }
+
+    /// The rank stalled by this plan, if any.
+    pub fn stalled_rank(&self) -> Option<usize> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::StallRank { rank, .. } => Some(*rank),
+            _ => None,
+        })
+    }
+}
+
+/// Observability record for fault injection and recovery: what was
+/// injected, what the runtime did about it, and what it cost. Threaded
+/// into [`crate::SimReport`] by the engine; the execution and recovery
+/// layers fill the retry/timeout/rebuild counters and merge records across
+/// attempts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Link-degrade faults applied to the resource graph.
+    pub links_degraded: u64,
+    /// Ranks running with injected per-operation stall latency.
+    pub ranks_stalled: u64,
+    /// Ranks that crashed during the run.
+    pub ranks_crashed: u64,
+    /// Notifications silently dropped.
+    pub notifies_dropped: u64,
+    /// Operations abandoned because their executor crashed.
+    pub ops_abandoned: u64,
+    /// Bounded retries performed (KNEM pull re-attempts after backoff).
+    pub retries: u64,
+    /// Per-operation deadline expirations observed while waiting on peers.
+    pub timeouts: u64,
+    /// Topology rebuilds performed by the recovery layer (epoch bumps).
+    pub topology_rebuilds: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected (not counting the runtime's reactions).
+    pub fn total_injected(&self) -> u64 {
+        self.links_degraded + self.ranks_stalled + self.ranks_crashed + self.notifies_dropped
+    }
+
+    /// Accumulates `other` into `self` (merging records across executor
+    /// runs, simulation attempts and recovery rounds).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.links_degraded += other.links_degraded;
+        self.ranks_stalled += other.ranks_stalled;
+        self.ranks_crashed += other.ranks_crashed;
+        self.notifies_dropped += other.notifies_dropped;
+        self.ops_abandoned += other.ops_abandoned;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.topology_rebuilds += other.topology_rebuilds;
+    }
+}
+
+/// Simulation failures: an invalid schedule, or a fault-injected run that
+/// could not complete. The engine returns these instead of hanging or
+/// panicking, so every caller sees a typed error within bounded time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The schedule failed validation.
+    Schedule(ScheduleError),
+    /// No runnable work remains but the schedule is unfinished (a crash or
+    /// dropped notification orphaned the remaining dependency graph).
+    Stalled {
+        /// The fault-plan seed, when a plan was active.
+        seed: Option<u64>,
+        /// Operations completed before the stall.
+        completed: usize,
+        /// Total operations in the schedule.
+        total: usize,
+        /// Simulated time at which progress stopped.
+        at: f64,
+        /// Fault accounting up to the stall.
+        fault_stats: FaultStats,
+    },
+    /// The simulated clock passed the configured deadline.
+    DeadlineExceeded {
+        /// The fault-plan seed, when a plan was active.
+        seed: Option<u64>,
+        /// The deadline, in simulated seconds.
+        deadline: f64,
+        /// Operations completed within the deadline.
+        completed: usize,
+        /// Total operations in the schedule.
+        total: usize,
+        /// Fault accounting up to the deadline.
+        fault_stats: FaultStats,
+    },
+}
+
+impl SimError {
+    /// The fault accounting gathered before the failure (zeroed for
+    /// validation errors).
+    pub fn fault_stats(&self) -> FaultStats {
+        match self {
+            SimError::Schedule(_) => FaultStats::default(),
+            SimError::Stalled { fault_stats, .. }
+            | SimError::DeadlineExceeded { fault_stats, .. } => *fault_stats,
+        }
+    }
+}
+
+fn fmt_seed(seed: &Option<u64>) -> String {
+    match seed {
+        Some(s) => format!(" (fault seed {s})"),
+        None => String::new(),
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Schedule(e) => write!(f, "invalid schedule: {e}"),
+            SimError::Stalled { seed, completed, total, at, .. } => write!(
+                f,
+                "simulation stalled at t={at:.6}s with {completed}/{total} ops done{}",
+                fmt_seed(seed)
+            ),
+            SimError::DeadlineExceeded { seed, deadline, completed, total, .. } => write!(
+                f,
+                "simulation exceeded its {deadline:.6}s deadline with {completed}/{total} ops \
+                 done{}",
+                fmt_seed(seed)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ScheduleError> for SimError {
+    fn from(e: ScheduleError) -> Self {
+        SimError::Schedule(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_complete() {
+        let a = FaultPlan::seeded(42, 16);
+        let b = FaultPlan::seeded(42, 16);
+        assert_eq!(a, b);
+        assert_eq!(a.seed, 42);
+        // The canonical plan holds one fault of each kind.
+        assert_eq!(a.faults().len(), 4);
+        assert!(a.crashed_rank().is_some());
+        assert_ne!(a.crashed_rank(), Some(0), "rank 0 never crashes");
+        assert_ne!(a.crashed_rank(), a.stalled_rank());
+        assert_ne!(FaultPlan::seeded(43, 16), a, "different seeds differ");
+    }
+
+    #[test]
+    fn degrade_factor_is_clamped() {
+        let plan = FaultPlan::new(0).degrade_link(Resource::BoardLink, 0.0);
+        match plan.faults()[0] {
+            Fault::DegradeLink { factor, .. } => assert_eq!(factor, MIN_DEGRADE_FACTOR),
+            _ => panic!("expected a degrade fault"),
+        }
+        let plan = FaultPlan::new(0).degrade_link(Resource::BoardLink, 7.0);
+        match plan.faults()[0] {
+            Fault::DegradeLink { factor, .. } => assert_eq!(factor, 1.0),
+            _ => panic!("expected a degrade fault"),
+        }
+    }
+
+    #[test]
+    fn stats_merge_accumulates_every_field() {
+        let mut a = FaultStats { links_degraded: 1, retries: 2, ..Default::default() };
+        let b = FaultStats {
+            links_degraded: 3,
+            ranks_stalled: 1,
+            ranks_crashed: 1,
+            notifies_dropped: 2,
+            ops_abandoned: 5,
+            retries: 1,
+            timeouts: 4,
+            topology_rebuilds: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.links_degraded, 4);
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.timeouts, 4);
+        assert_eq!(a.total_injected(), 4 + 1 + 1 + 2);
+    }
+
+    #[test]
+    fn errors_display_the_seed() {
+        let e = SimError::Stalled {
+            seed: Some(77),
+            completed: 3,
+            total: 9,
+            at: 0.5,
+            fault_stats: FaultStats::default(),
+        };
+        assert!(e.to_string().contains("seed 77"), "{e}");
+        assert!(e.to_string().contains("3/9"), "{e}");
+    }
+}

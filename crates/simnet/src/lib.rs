@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod report;
 pub mod resource;
 pub mod route;
@@ -46,6 +47,7 @@ pub mod schedule;
 pub mod trace;
 
 pub use engine::{SimConfig, SimExecutor, SimReport, SolverStats};
+pub use fault::{Fault, FaultPlan, FaultStats, SimError};
 pub use report::{bw_allgather, bw_bcast, bw_p2p, Series, SweepPoint};
 pub use resource::{Calibration, Resource};
 pub use schedule::{

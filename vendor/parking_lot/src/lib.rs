@@ -87,6 +87,23 @@ impl Condvar {
         );
     }
 
+    /// Atomically releases the guard's lock and blocks until notified or
+    /// until `timeout` elapses; the lock is reacquired before returning.
+    /// Spurious wakeups are possible, exactly as with [`Condvar::wait`].
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.guard.take().expect("guard present before wait");
+        let (reacquired, result) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.guard = Some(reacquired);
+        WaitTimeoutResult { timed_out: result.timed_out() }
+    }
+
     /// Wakes one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -101,6 +118,20 @@ impl Condvar {
 impl std::fmt::Debug for Condvar {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str("Condvar")
+    }
+}
+
+/// Outcome of [`Condvar::wait_for`]: whether the wait ended by timeout
+/// rather than notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True when the wait returned because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
@@ -198,6 +229,38 @@ mod tests {
         assert_eq!(rw.read().len(), 2);
         rw.write().push(3);
         assert_eq!(rw.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wait_for_times_out_and_reacquires() {
+        let pair = (Mutex::new(0u32), Condvar::new());
+        let mut guard = pair.0.lock();
+        let res = pair.1.wait_for(&mut guard, std::time::Duration::from_millis(5));
+        assert!(res.timed_out());
+        // The guard is usable again after the timed wait.
+        *guard += 1;
+        assert_eq!(*guard, 1);
+    }
+
+    #[test]
+    fn wait_for_observes_notification() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cvar) = &*p2;
+            let mut done = lock.lock();
+            while !*done {
+                let res = cvar.wait_for(&mut done, std::time::Duration::from_secs(5));
+                assert!(!res.timed_out(), "notification must arrive well within 5s");
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_all();
+        }
+        t.join().unwrap();
     }
 
     #[test]

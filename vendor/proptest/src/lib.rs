@@ -310,7 +310,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy for vectors of `element` values; see [`vec`].
+    /// Strategy for vectors of `element` values; see [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
