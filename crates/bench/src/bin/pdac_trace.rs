@@ -1,0 +1,156 @@
+//! `pdac-trace` — run a collective with telemetry, export its artifacts,
+//! and diff metric snapshots across runs.
+//!
+//! Usage:
+//!
+//! ```text
+//! pdac-trace run [bcast|allgather|allreduce] [ranks] [bytes] [outdir]
+//! pdac-trace diff <base-metrics.json> <new-metrics.json>
+//! ```
+//!
+//! `run` executes the chosen distance-aware collective twice — for real on
+//! the thread executor (process `real`, pid 2) and through the contention
+//! simulator (process `sim`, pid 1) — and writes three artifacts to
+//! `outdir` (default `results/pdac_trace`):
+//!
+//! * `trace_real.json` — Chrome Trace Event timeline of the real run (per
+//!   operation: rank, peer, mechanism, bytes, distance class). Needs the
+//!   `telemetry` build feature; without it the timeline holds metadata
+//!   only and a note is printed.
+//! * `trace_sim.json` — the simulated counterpart, same format and
+//!   exporter; load both into <https://ui.perfetto.dev> side-by-side.
+//! * `metrics.json` — registry snapshot: counters plus log-bucketed
+//!   latency histograms per op kind and distance class
+//!   (`exec.op_ns.<mech>.d<class>`).
+//!
+//! `diff` compares two `metrics.json` snapshots and prints counter deltas
+//! and per-histogram (so per-distance-class) count/mean shifts — the
+//! regression report between two builds or configurations.
+
+use std::sync::Arc;
+
+use pdac_core::verify::pattern;
+use pdac_core::AdaptiveColl;
+use pdac_hwtopo::{machines, BindingPolicy, DistanceMatrix};
+use pdac_mpisim::{Communicator, ThreadExecutor};
+use pdac_simnet::{trace::sim_events, SimConfig, SimExecutor};
+use pdac_telemetry::export::{chrome_trace, TraceMeta};
+use pdac_telemetry::RegistrySnapshot;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  pdac-trace run [bcast|allgather|allreduce] [ranks] [bytes] [outdir]\n  \
+         pdac-trace diff <base-metrics.json> <new-metrics.json>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("diff") => diff(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run(args: &[String]) {
+    let what = args.first().map(String::as_str).unwrap_or("bcast").to_string();
+    let ranks: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let bytes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1 << 16);
+    let outdir = args.get(3).cloned().unwrap_or_else(|| "results/pdac_trace".into());
+
+    let machine = Arc::new(machines::ig());
+    let binding = BindingPolicy::Contiguous
+        .bind(&machine, ranks)
+        .unwrap_or_else(|e| panic!("{ranks} ranks do not fit the IG machine: {e}"));
+    let distances = Arc::new(DistanceMatrix::for_binding(&machine, &binding));
+    let comm = Communicator::world(Arc::clone(&machine), binding.clone());
+    let coll = AdaptiveColl::default();
+
+    let telemetry = pdac_telemetry::global();
+    // One run, one set of artifacts: drop everything recorded before now
+    // (including the distance fill above).
+    telemetry.reset();
+
+    let schedule = match what.as_str() {
+        "allgather" => coll.allgather(&comm, bytes),
+        "allreduce" => {
+            let topo = coll.bcast_topology_choice(&comm, bytes);
+            let tree = coll.bcast_tree(&comm, 0, topo);
+            pdac_core::sched::allreduce_schedule(&tree, bytes, &coll.policy().sched)
+        }
+        "bcast" => coll.bcast(&comm, 0, bytes),
+        other => {
+            eprintln!("unknown collective {other:?}");
+            usage()
+        }
+    };
+
+    // Real leg: the thread executor moves actual bytes, recording per-op
+    // spans (with distance classes via the matrix) into the recorder and
+    // latency histograms into the registry.
+    let res = ThreadExecutor::new()
+        .with_distances(Arc::clone(&distances))
+        .run(&schedule, pattern)
+        .expect("collective executes");
+    let real_events = telemetry.recorder().drain();
+    let real_trace =
+        chrome_trace(&real_events, &TraceMeta::real().with_ranks(schedule.num_ranks));
+
+    // Sim leg: the same schedule through the contention model; events come
+    // from the report but render through the same exporter.
+    let report = SimExecutor::new(&machine, &binding, SimConfig::default())
+        .run(&schedule)
+        .expect("schedule validates");
+    let sim_trace = chrome_trace(
+        &sim_events(&schedule, &report),
+        &TraceMeta::sim().with_ranks(schedule.num_ranks),
+    );
+
+    let metrics = telemetry.registry().snapshot().to_json();
+
+    std::fs::create_dir_all(&outdir).expect("output dir");
+    let write = |name: &str, body: &str| {
+        let path = format!("{outdir}/{name}");
+        std::fs::write(&path, body).expect("write artifact");
+        println!("wrote {path}");
+    };
+    write("trace_real.json", &real_trace);
+    write("trace_sim.json", &sim_trace);
+    write("metrics.json", &metrics);
+
+    println!(
+        "{}: {} ops over {} ranks; real run {} KNEM copies, sim {:.3} ms",
+        schedule.name,
+        schedule.ops.len(),
+        schedule.num_ranks,
+        res.knem_stats.copies,
+        report.total_time * 1e3,
+    );
+    if !pdac_telemetry::recording_compiled() {
+        println!(
+            "note: built without the `telemetry` feature — trace_real.json holds metadata \
+             only (rebuild with `--features telemetry` for the real timeline)"
+        );
+    }
+    println!("load both traces in ui.perfetto.dev to compare real vs sim side-by-side");
+}
+
+fn diff(args: &[String]) {
+    let [base_path, new_path] = args else { usage() };
+    let load = |path: &str| -> RegistrySnapshot {
+        let body = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        RegistrySnapshot::from_json(&body)
+            .unwrap_or_else(|e| panic!("{path} is not a metrics snapshot: {e}"))
+    };
+    let base = load(base_path);
+    let new = load(new_path);
+    let d = new.diff(&base);
+    if d.is_empty() {
+        println!("no metric changes between {base_path} and {new_path}");
+    } else {
+        print!("{}", d.render());
+    }
+}

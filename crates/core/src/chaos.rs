@@ -103,6 +103,25 @@ pub struct ChaosOutcome {
     pub sim_report: SimReport,
 }
 
+impl ChaosOutcome {
+    /// One-line human-readable summary of the run: recovery disposition,
+    /// failed ranks, and the merged fault accounting (including retry
+    /// counts and total backoff) via
+    /// [`crate::metrics::fault_summary_line`].
+    pub fn summary(&self) -> String {
+        let disposition = if self.recovered {
+            format!("recovered from rank failure {:?}", self.failed_ranks)
+        } else {
+            "no recovery needed".to_string()
+        };
+        format!(
+            "chaos: {disposition}; {}; survivor time {:.6}s",
+            crate::metrics::fault_summary_line(&self.stats),
+            self.sim_report.total_time,
+        )
+    }
+}
+
 fn build_schedule(mgr: &RecoveryManager, what: ChaosCollective) -> Schedule {
     match what {
         ChaosCollective::Bcast { root, bytes } => mgr.bcast(root, bytes),
@@ -188,6 +207,14 @@ pub fn run_chaos(
     cfg: &ChaosConfig,
 ) -> Result<ChaosOutcome, CollectiveError> {
     let seed = cfg.seed;
+    let telemetry = pdac_telemetry::global();
+    let _span = telemetry.recorder().span(
+        0,
+        "chaos",
+        || format!("run_chaos seed {seed}"),
+        || vec![("seed", seed.into()), ("ranks", comm.size().into())],
+    );
+    telemetry.registry().add("chaos.runs", 1);
     let preferred_root = match what {
         ChaosCollective::Bcast { root, .. } => root,
         _ => 0,
@@ -261,6 +288,13 @@ pub fn run_chaos(
                 // Detected rank failure: shrink, invalidate, rebuild.
                 let culprits = exec_plan.crashed_ranks();
                 stats.ranks_crashed = stats.ranks_crashed.max(culprits.len() as u64);
+                telemetry.recorder().instant(
+                    0,
+                    "chaos",
+                    || format!("fault detected: crashed ranks {culprits:?}"),
+                    || vec![("crashed", culprits.len().into()), ("seed", seed.into())],
+                );
+                telemetry.registry().add("chaos.recoveries", 1);
                 for c in culprits {
                     mgr.mark_failed(c)?;
                 }
@@ -334,6 +368,10 @@ mod tests {
         assert!(out.stats.topology_rebuilds >= 1);
         assert!(out.stats.links_degraded >= 1, "sim leg degraded a link");
         assert!(out.sim_report.total_time > 0.0);
+        let line = out.summary();
+        println!("{line}");
+        assert!(line.contains("recovered from rank failure"), "{line}");
+        assert!(line.contains("backoff"), "retry/backoff accounting is summarized: {line}");
     }
 
     #[test]

@@ -115,13 +115,15 @@ pub fn merge_fault_stats(runs: &[FaultStats]) -> FaultStats {
 pub fn fault_summary_line(stats: &FaultStats) -> String {
     format!(
         "faults: {} injected ({} links degraded, {} ranks stalled, {} ranks crashed, \
-         {} notifies dropped), {} retries, {} timeouts, {} ops abandoned, {} topology rebuilds",
+         {} notifies dropped), {} retries ({:.3} ms backoff), {} timeouts, {} ops abandoned, \
+         {} topology rebuilds",
         stats.total_injected(),
         stats.links_degraded,
         stats.ranks_stalled,
         stats.ranks_crashed,
         stats.notifies_dropped,
         stats.retries,
+        stats.backoff_ns as f64 / 1e6,
         stats.timeouts,
         stats.ops_abandoned,
         stats.topology_rebuilds,

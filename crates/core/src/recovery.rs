@@ -169,12 +169,27 @@ impl RecoveryManager {
         if self.comm.size() == 1 {
             return Err(CollectiveError::AllRanksFailed { seed: None });
         }
+        let telemetry = pdac_telemetry::global();
+        let _span = telemetry.recorder().span(
+            world as u64,
+            "recovery",
+            || format!("rank_failed {world} -> rebuild"),
+            || {
+                vec![
+                    ("world_rank", world.into()),
+                    ("survivors", (self.comm.size() - 1).into()),
+                    ("dead_epoch", self.comm.epoch().into()),
+                ]
+            },
+        );
         self.cache.invalidate_epoch(self.comm.epoch());
         let (shrunk, map) = self.comm.without_ranks(&[current]);
         self.world_of = map.into_iter().map(|old| self.world_of[old]).collect();
         self.comm = shrunk;
         self.failed.push(world);
         self.stats.topology_rebuilds += 1;
+        telemetry.registry().add("recovery.ranks_failed", 1);
+        telemetry.registry().add("recovery.topology_rebuilds", 1);
         Ok(())
     }
 
@@ -184,7 +199,16 @@ impl RecoveryManager {
     pub fn elect_root(&self, preferred_world: usize) -> usize {
         // Survivors preserve world order, so the smallest surviving world
         // rank sits at current rank 0.
-        self.current_rank_of(preferred_world).unwrap_or(0)
+        let root = self.current_rank_of(preferred_world).unwrap_or(0);
+        if self.current_rank_of(preferred_world).is_none() {
+            pdac_telemetry::global().recorder().instant(
+                preferred_world as u64,
+                "recovery",
+                || format!("reelect root: {preferred_world} dead -> world {}", self.world_of[root]),
+                || vec![("preferred", preferred_world.into()), ("elected", root.into())],
+            );
+        }
+        root
     }
 
     /// Distance-aware broadcast over the survivors, rooted by

@@ -28,6 +28,8 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
+use pdac_telemetry::Counter;
+
 use crate::adaptive::BcastTopology;
 use crate::allgather_ring::Ring;
 use crate::edges::Edge;
@@ -92,10 +94,34 @@ struct Inner {
     invalidations: u64,
 }
 
+/// Process-wide registry handles, resolved once per cache so the hot path
+/// increments shared atomics without a name lookup. The per-instance
+/// counters in [`Inner`] stay the source of truth for [`TopoCache::stats`];
+/// these accumulate across caches for snapshot export.
+struct CacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    invalidations: Counter,
+}
+
+impl CacheMetrics {
+    fn resolve() -> Self {
+        let registry = pdac_telemetry::global().registry();
+        CacheMetrics {
+            hits: registry.counter("topocache.hits"),
+            misses: registry.counter("topocache.misses"),
+            evictions: registry.counter("topocache.evictions"),
+            invalidations: registry.counter("topocache.invalidations"),
+        }
+    }
+}
+
 /// Memoizes built collective topologies per communicator epoch. See the
 /// module docs for the keying and invalidation contract.
 pub struct TopoCache {
     inner: Mutex<Inner>,
+    metrics: CacheMetrics,
 }
 
 impl Default for TopoCache {
@@ -131,6 +157,7 @@ impl TopoCache {
                 evictions: 0,
                 invalidations: 0,
             }),
+            metrics: CacheMetrics::resolve(),
         }
     }
 
@@ -152,13 +179,18 @@ impl TopoCache {
         if let Some(CachedTopo::Tree(t)) = inner.map.get(&key) {
             let t = Arc::clone(t);
             inner.hits += 1;
+            self.metrics.hits.inc();
+            self.record_event("topo_hit", key);
             return t;
         }
         inner.misses += 1;
+        self.metrics.misses.inc();
+        self.record_event("topo_miss", key);
         let mut arena = std::mem::take(&mut inner.arena);
         let tree = Arc::new(build(&mut arena));
         inner.arena = arena;
-        inner.insert(key, CachedTopo::Tree(Arc::clone(&tree)));
+        let evicted = inner.insert(key, CachedTopo::Tree(Arc::clone(&tree)));
+        self.metrics.evictions.add(evicted);
         tree
     }
 
@@ -180,13 +212,18 @@ impl TopoCache {
         if let Some(CachedTopo::Ring(r)) = inner.map.get(&key) {
             let r = Arc::clone(r);
             inner.hits += 1;
+            self.metrics.hits.inc();
+            self.record_event("topo_hit", key);
             return r;
         }
         inner.misses += 1;
+        self.metrics.misses.inc();
+        self.record_event("topo_miss", key);
         let mut arena = std::mem::take(&mut inner.arena);
         let ring = Arc::new(build(&mut arena));
         inner.arena = arena;
-        inner.insert(key, CachedTopo::Ring(Arc::clone(&ring)));
+        let evicted = inner.insert(key, CachedTopo::Ring(Arc::clone(&ring)));
+        self.metrics.evictions.add(evicted);
         ring
     }
 
@@ -199,6 +236,13 @@ impl TopoCache {
         inner.order.retain(|k| k.epoch != epoch);
         let removed = before - inner.map.len();
         inner.invalidations += removed as u64;
+        self.metrics.invalidations.add(removed as u64);
+        pdac_telemetry::global().recorder().instant(
+            0,
+            "topocache",
+            || format!("epoch_invalidate {epoch} ({removed} entries)"),
+            || vec![("epoch", epoch.into()), ("removed", removed.into())],
+        );
         removed
     }
 
@@ -209,6 +253,23 @@ impl TopoCache {
         inner.map.clear();
         inner.order.clear();
         inner.invalidations += removed as u64;
+        self.metrics.invalidations.add(removed as u64);
+    }
+
+    /// Records one gated hit/miss instant for `key`.
+    fn record_event(&self, what: &'static str, key: TopoKey) {
+        pdac_telemetry::global().recorder().instant(
+            0,
+            "topocache",
+            || format!("{what} epoch {}", key.epoch),
+            || {
+                let (kind, root) = match key.kind {
+                    TopoKind::Bcast { root, .. } => ("bcast", root as u64),
+                    TopoKind::AllgatherRing => ("allgather_ring", 0),
+                };
+                vec![("epoch", key.epoch.into()), ("kind", kind.into()), ("root", root.into())]
+            },
+        );
     }
 
     /// Snapshot of the counters.
@@ -225,15 +286,20 @@ impl TopoCache {
 }
 
 impl Inner {
-    fn insert(&mut self, key: TopoKey, value: CachedTopo) {
+    /// Inserts `value`, evicting FIFO past capacity; returns the number of
+    /// entries evicted (published by the caller, which owns the metrics).
+    fn insert(&mut self, key: TopoKey, value: CachedTopo) -> u64 {
         if self.map.insert(key, value).is_none() {
             self.order.push_back(key);
         }
+        let mut evicted = 0;
         while self.map.len() > self.capacity {
             let oldest = self.order.pop_front().expect("order tracks map");
             self.map.remove(&oldest);
             self.evictions += 1;
+            evicted += 1;
         }
+        evicted
     }
 }
 

@@ -97,6 +97,15 @@ impl DistanceMatrix {
     /// so the result is bit-identical to the serial build.
     pub fn for_binding(machine: &Machine, binding: &Binding) -> Self {
         let n = binding.num_ranks();
+        let telemetry = pdac_telemetry::global();
+        let _span = telemetry.recorder().span(
+            0,
+            "hwtopo",
+            || format!("distance_fill n={n}"),
+            || vec![("ranks", n.into()), ("parallel", u64::from(cfg!(feature = "parallel")).into())],
+        );
+        telemetry.registry().add("hwtopo.distance_fills", 1);
+        telemetry.registry().add("hwtopo.distance_cells", (n * n) as u64);
         #[cfg(feature = "parallel")]
         {
             let threads = std::thread::available_parallelism().map_or(1, |t| t.get());

@@ -82,6 +82,20 @@ pub struct KnemStats {
     pub lock_acquires: u64,
 }
 
+impl KnemStats {
+    /// Folds this record into the process-wide metrics registry under
+    /// `knem.*` counters. The per-device struct stays the per-instance
+    /// source of truth; the registry accumulates across devices and runs
+    /// for snapshot export and diffing.
+    pub fn publish(&self, registry: &pdac_telemetry::Registry) {
+        registry.add("knem.registrations", self.registrations);
+        registry.add("knem.deregistrations", self.deregistrations);
+        registry.add("knem.copies", self.copies);
+        registry.add("knem.bytes_copied", self.bytes_copied);
+        registry.add("knem.lock_acquires", self.lock_acquires);
+    }
+}
+
 /// Copy failures injected after a budget of successful operations — the
 /// fault-injection hook for exercising error propagation end-to-end (a real
 /// KNEM copy can fail mid-collective: region torn down, `-EFAULT`, module
@@ -165,6 +179,12 @@ impl KnemDevice {
         let id = self.next.fetch_add(1, Ordering::Relaxed);
         self.shard(id).lock().insert(id, Region { rank, buf, offset, len });
         self.registrations.fetch_add(1, Ordering::Relaxed);
+        pdac_telemetry::global().recorder().instant(
+            rank as u64,
+            "knem",
+            || format!("knem_register #{id}"),
+            || vec![("cookie", id.into()), ("len", len.into())],
+        );
         Cookie(id)
     }
 
@@ -194,6 +214,12 @@ impl KnemDevice {
                 // Report the injected fault as a dead cookie (what a torn
                 // down region looks like to the caller).
                 self.injected_failures.fetch_add(1, Ordering::Relaxed);
+                pdac_telemetry::global().recorder().instant(
+                    region.rank as u64,
+                    "knem",
+                    || format!("knem_pull_fault #{}", cookie.0),
+                    || vec![("cookie", cookie.0.into())],
+                );
                 return Err(KnemError::BadCookie(cookie));
             }
         }

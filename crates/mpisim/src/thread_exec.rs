@@ -14,7 +14,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, RwLock};
+use pdac_hwtopo::{DistanceMatrix, DIST_MAX_EXTENDED};
 use pdac_simnet::{BufId, DataOp, FaultStats, Mech, OpKind, Rank, Schedule, ScheduleError};
+use pdac_telemetry::LogHistogram;
 
 use crate::fault::{ExecFaultPlan, RetryPolicy};
 use crate::knem::{KnemDevice, KnemError, KnemStats};
@@ -125,6 +127,10 @@ pub struct ThreadExecutor {
     policy: RetryPolicy,
     /// Executor-level fault plan injected into every run.
     faults: Option<ExecFaultPlan>,
+    /// Process-distance matrix of the ranks, used to label per-operation
+    /// latency metrics with the paper's distance classes. Without it every
+    /// operation lands in class 0.
+    distances: Option<Arc<DistanceMatrix>>,
 }
 
 /// Why a dependency wait returned without the dependency completing.
@@ -189,6 +195,7 @@ struct FaultCounters {
     dropped: AtomicU64,
     abandoned: AtomicU64,
     retries: AtomicU64,
+    backoff_ns: AtomicU64,
     timeouts: AtomicU64,
 }
 
@@ -200,10 +207,52 @@ impl FaultCounters {
             notifies_dropped: self.dropped.load(Ordering::Relaxed),
             ops_abandoned: self.abandoned.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            backoff_ns: self.backoff_ns.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             ..FaultStats::default()
         }
     }
+}
+
+/// Per-run handles into the global registry's latency histograms, resolved
+/// once per run so the per-operation path never does a name lookup:
+/// `hist[kind][class]` where `kind` is 0 = KNEM copy, 1 = memcpy copy,
+/// 2 = notify, and `class` is the process-distance class `0..=8`.
+struct OpHistograms {
+    hist: Vec<Vec<Arc<LogHistogram>>>,
+}
+
+const OP_KIND_NAMES: [&str; 3] = ["knem", "memcpy", "notify"];
+
+impl OpHistograms {
+    fn resolve(registry: &pdac_telemetry::Registry) -> Self {
+        let hist = OP_KIND_NAMES
+            .iter()
+            .map(|kind| {
+                (0..=DIST_MAX_EXTENDED as usize)
+                    .map(|c| registry.histogram(&format!("exec.op_ns.{kind}.d{c}")))
+                    .collect()
+            })
+            .collect();
+        OpHistograms { hist }
+    }
+
+    fn record(&self, kind: usize, class: usize, ns: u64) {
+        self.hist[kind][class].record(ns);
+    }
+}
+
+/// The histogram kind index and distance class of one operation.
+fn op_kind_and_class(kind: &OpKind, distances: Option<&DistanceMatrix>) -> (usize, usize) {
+    let (k, a, b) = match kind {
+        OpKind::Copy { src_rank, dst_rank, mech: Mech::Knem, .. } => (0, *src_rank, *dst_rank),
+        OpKind::Copy { src_rank, dst_rank, .. } => (1, *src_rank, *dst_rank),
+        OpKind::Notify { from, to } => (2, *from, *to),
+    };
+    let class = distances
+        .map(|d| if a < d.num_ranks() && b < d.num_ranks() { d.get(a, b) as usize } else { 0 })
+        .unwrap_or(0);
+    (k, class)
 }
 
 impl ThreadExecutor {
@@ -233,6 +282,15 @@ impl ThreadExecutor {
         self
     }
 
+    /// Attaches the process-distance matrix of the ranks, so per-operation
+    /// latency histograms are labelled with the paper's distance classes
+    /// (`exec.op_ns.<mech>.d<class>`). Without it every operation lands in
+    /// class 0.
+    pub fn with_distances(mut self, distances: Arc<DistanceMatrix>) -> Self {
+        self.distances = Some(distances);
+        self
+    }
+
     /// Validates and runs `schedule`. Send buffers are initialized by
     /// `init_send(rank, size)`; receive and temporary buffers start zeroed.
     pub fn run(
@@ -240,6 +298,13 @@ impl ThreadExecutor {
         schedule: &Schedule,
         init_send: impl Fn(Rank, usize) -> Vec<u8>,
     ) -> Result<ExecResult, ExecError> {
+        let telemetry = pdac_telemetry::global();
+        let _run_span = telemetry.recorder().span(
+            0,
+            "exec",
+            || format!("exec_run {} ({} ops)", schedule.name, schedule.ops.len()),
+            || vec![("ranks", schedule.num_ranks.into()), ("ops", schedule.ops.len().into())],
+        );
         schedule.validate()?;
 
         // Allocate every declared buffer up front.
@@ -292,6 +357,12 @@ impl ThreadExecutor {
             }
         }
         let counters = Arc::new(FaultCounters::default());
+        // Resolve latency-histogram handles once; the per-op path indexes
+        // by (kind, distance class) without touching the registry lock.
+        // KNEM counters are published as this run's delta, so a shared
+        // device is not double-counted across runs.
+        let histograms = Arc::new(OpHistograms::resolve(telemetry.registry()));
+        let knem_before = knem.stats();
 
         let mut first_error: Option<ExecError> = None;
         crossbeam::thread::scope(|scope| {
@@ -302,6 +373,8 @@ impl ThreadExecutor {
                 let knem = Arc::clone(&knem);
                 let sync = Arc::clone(&sync);
                 let counters = Arc::clone(&counters);
+                let histograms = Arc::clone(&histograms);
+                let distances = self.distances.clone();
                 let policy = self.policy;
                 let stall = self.faults.as_ref().map(|p| p.stall_of(rank)).unwrap_or_default();
                 let crash_after = self.faults.as_ref().and_then(|p| p.crash_of(rank));
@@ -344,14 +417,51 @@ impl ThreadExecutor {
                                 }
                             }
                         }
+                        let kind = &schedule.ops[id].kind;
+                        let (kind_idx, class) = op_kind_and_class(kind, distances.as_deref());
+                        let op_span = pdac_telemetry::global().recorder().span(
+                            rank as u64,
+                            if kind_idx == 2 { "notify" } else { "copy" },
+                            || match kind {
+                                OpKind::Copy { src_rank, dst_rank, bytes, mech, .. } => {
+                                    format!("{mech:?} {src_rank}->{dst_rank} ({bytes}B)")
+                                }
+                                OpKind::Notify { from, to } => format!("notify {from}->{to}"),
+                            },
+                            || {
+                                let mut args = vec![("op", id.into()), ("dist", class.into())];
+                                if let OpKind::Copy { bytes, mech, .. } = kind {
+                                    args.push(("bytes", (*bytes).into()));
+                                    args.push(("mech", format!("{mech:?}").into()));
+                                }
+                                args
+                            },
+                        );
+                        let op_started = Instant::now();
                         let mut attempts = 0u32;
                         loop {
-                            match execute_op(&schedule.ops[id].kind, &buffers, &knem) {
+                            match execute_op(kind, &buffers, &knem) {
                                 Ok(()) => break,
                                 Err(_) if attempts < policy.max_retries => {
                                     attempts += 1;
                                     counters.retries.fetch_add(1, Ordering::Relaxed);
-                                    std::thread::sleep(policy.backoff(attempts));
+                                    let backoff = policy.backoff(attempts);
+                                    counters
+                                        .backoff_ns
+                                        .fetch_add(backoff.as_nanos() as u64, Ordering::Relaxed);
+                                    pdac_telemetry::global().recorder().instant(
+                                        rank as u64,
+                                        "retry",
+                                        || format!("retry op {id} (attempt {attempts})"),
+                                        || {
+                                            vec![
+                                                ("op", id.into()),
+                                                ("attempt", u64::from(attempts).into()),
+                                                ("backoff_ns", (backoff.as_nanos() as u64).into()),
+                                            ]
+                                        },
+                                    );
+                                    std::thread::sleep(backoff);
                                 }
                                 Err(e) => {
                                     sync.poison();
@@ -364,6 +474,8 @@ impl ThreadExecutor {
                                 }
                             }
                         }
+                        histograms.record(kind_idx, class, op_started.elapsed().as_nanos() as u64);
+                        drop(op_span);
                         if drop_ops.contains(&id) {
                             // The operation ran but its completion is never
                             // published — a lost notification.
@@ -393,10 +505,29 @@ impl ThreadExecutor {
         }
 
         let buffers = Arc::try_unwrap(buffers).expect("threads joined");
+        let knem_stats = knem.stats();
+        let fault_stats = counters.snapshot();
+
+        // Fold this run's accounting into the process-wide registry. KNEM
+        // counters publish the run's delta (a shared device's lifetime
+        // totals stay in `knem_stats`).
+        let registry = telemetry.registry();
+        registry.add("exec.runs", 1);
+        registry.add("exec.ops", schedule.ops.len() as u64);
+        KnemStats {
+            registrations: knem_stats.registrations - knem_before.registrations,
+            deregistrations: knem_stats.deregistrations - knem_before.deregistrations,
+            copies: knem_stats.copies - knem_before.copies,
+            bytes_copied: knem_stats.bytes_copied - knem_before.bytes_copied,
+            lock_acquires: knem_stats.lock_acquires - knem_before.lock_acquires,
+        }
+        .publish(registry);
+        fault_stats.publish(registry);
+
         Ok(ExecResult {
             buffers: buffers.into_iter().map(|(k, v)| (k, v.into_inner())).collect(),
-            knem_stats: knem.stats(),
-            fault_stats: counters.snapshot(),
+            knem_stats,
+            fault_stats,
         })
     }
 }

@@ -563,6 +563,13 @@ impl<'a> SimExecutor<'a> {
     /// [`SimError::DeadlineExceeded`]. Fault-free runs are bit-identical to
     /// the pre-fault engine.
     pub fn run(&self, schedule: &Schedule) -> Result<SimReport, SimError> {
+        let telemetry = pdac_telemetry::global();
+        let _span = telemetry.recorder().span(
+            0,
+            "simnet",
+            || format!("sim_run {} ({} ops)", schedule.name, schedule.ops.len()),
+            || vec![("ranks", schedule.num_ranks.into()), ("ops", schedule.ops.len().into())],
+        );
         schedule.validate()?;
         assert!(
             schedule.num_ranks <= self.binding.num_ranks(),
@@ -820,6 +827,17 @@ impl<'a> SimExecutor<'a> {
             );
             solver.solve_event(&mut flows, self.full_rates, &mut solver_stats);
         }
+
+        // Fold this run's solver and fault accounting into the process-wide
+        // registry (the per-run structs in the report stay authoritative
+        // for per-instance assertions).
+        let registry = telemetry.registry();
+        registry.add("sim.runs", 1);
+        registry.add("sim.ops", n as u64);
+        registry.add("sim.solver.skipped", solver_stats.skipped);
+        registry.add("sim.solver.incremental", solver_stats.incremental);
+        registry.add("sim.solver.full", solver_stats.full);
+        fs.stats.publish(registry);
 
         Ok(SimReport {
             total_time: now,

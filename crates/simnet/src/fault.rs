@@ -175,6 +175,8 @@ pub struct FaultStats {
     pub ops_abandoned: u64,
     /// Bounded retries performed (KNEM pull re-attempts after backoff).
     pub retries: u64,
+    /// Total nanoseconds spent sleeping in retry backoff.
+    pub backoff_ns: u64,
     /// Per-operation deadline expirations observed while waiting on peers.
     pub timeouts: u64,
     /// Topology rebuilds performed by the recovery layer (epoch bumps).
@@ -196,8 +198,25 @@ impl FaultStats {
         self.notifies_dropped += other.notifies_dropped;
         self.ops_abandoned += other.ops_abandoned;
         self.retries += other.retries;
+        self.backoff_ns += other.backoff_ns;
         self.timeouts += other.timeouts;
         self.topology_rebuilds += other.topology_rebuilds;
+    }
+
+    /// Folds this record into the process-wide metrics registry under
+    /// `faults.*` counters. The per-run struct stays the per-instance
+    /// source of truth; the registry accumulates across runs for snapshot
+    /// export and diffing.
+    pub fn publish(&self, registry: &pdac_telemetry::Registry) {
+        registry.add("faults.links_degraded", self.links_degraded);
+        registry.add("faults.ranks_stalled", self.ranks_stalled);
+        registry.add("faults.ranks_crashed", self.ranks_crashed);
+        registry.add("faults.notifies_dropped", self.notifies_dropped);
+        registry.add("faults.ops_abandoned", self.ops_abandoned);
+        registry.add("faults.retries", self.retries);
+        registry.add("faults.backoff_ns", self.backoff_ns);
+        registry.add("faults.timeouts", self.timeouts);
+        registry.add("faults.topology_rebuilds", self.topology_rebuilds);
     }
 }
 
@@ -325,12 +344,14 @@ mod tests {
             notifies_dropped: 2,
             ops_abandoned: 5,
             retries: 1,
+            backoff_ns: 250,
             timeouts: 4,
             topology_rebuilds: 1,
         };
         a.merge(&b);
         assert_eq!(a.links_degraded, 4);
         assert_eq!(a.retries, 3);
+        assert_eq!(a.backoff_ns, 250);
         assert_eq!(a.timeouts, 4);
         assert_eq!(a.total_injected(), 4 + 1 + 1 + 2);
     }

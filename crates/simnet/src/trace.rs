@@ -6,14 +6,62 @@
 //! op kind, peer and byte count. The pipelining structure of a collective —
 //! who waits on whom, where the bottleneck rank sits — becomes visible at a
 //! glance.
+//!
+//! Rendering goes through the workspace-wide exporter in
+//! [`pdac_telemetry::export`], so a simulated run (pid 1, process `sim`)
+//! and a real-thread run of the same schedule (pid 2, process `real`) load
+//! side-by-side in one Perfetto window without colliding.
 
 use crate::engine::SimReport;
 use crate::schedule::{OpKind, Schedule};
 
-/// Escapes a JSON string value (labels only contain tame characters, but
-/// stay correct regardless).
-fn esc(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+use pdac_telemetry::export::{chrome_trace, TraceMeta};
+use pdac_telemetry::{Event, EventKind};
+
+/// Escapes a JSON string value. Delegates to the workspace's single
+/// escaper, which also handles control characters.
+pub fn esc(s: &str) -> String {
+    pdac_telemetry::export::esc(s)
+}
+
+/// Converts one simulated run into exporter events: one `X` event per
+/// operation, on the executor's rank row (sender's row for notifies), with
+/// op kind, peers and byte count in the args.
+pub fn sim_events(schedule: &Schedule, report: &SimReport) -> Vec<Event> {
+    let mut events = Vec::with_capacity(schedule.ops.len());
+    for (id, op) in schedule.ops.iter().enumerate() {
+        let (name, cat, tid, args) = match &op.kind {
+            OpKind::Copy { src_rank, dst_rank, bytes, mech, exec, .. } => (
+                format!("{mech:?} {src_rank}->{dst_rank} ({bytes}B)"),
+                "copy",
+                *exec,
+                vec![
+                    ("op", id.into()),
+                    ("bytes", (*bytes).into()),
+                    ("mech", format!("{mech:?}").into()),
+                ],
+            ),
+            OpKind::Notify { from, to } => (
+                format!("notify {from}->{to}"),
+                "notify",
+                *from,
+                vec![("op", id.into()), ("to", (*to).into())],
+            ),
+        };
+        let ts_us = report.op_start[id] * 1e6;
+        let dur_us = (report.op_finish[id] - report.op_start[id]).max(0.0) * 1e6;
+        events.push(Event {
+            seq: id as u64,
+            ts_us,
+            dur_us,
+            tid: tid as u64,
+            name,
+            cat,
+            kind: EventKind::Complete,
+            args,
+        });
+    }
+    events
 }
 
 /// Renders the Chrome Trace Event JSON for one simulated run.
@@ -22,31 +70,9 @@ fn esc(s: &str) -> String {
 /// on their executor's row; notifications on the sender's row with a
 /// `notify` category so they can be filtered out.
 pub fn to_chrome_trace(schedule: &Schedule, report: &SimReport) -> String {
-    let mut events = Vec::with_capacity(schedule.ops.len() + schedule.num_ranks);
-    for r in 0..schedule.num_ranks {
-        events.push(format!(
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{r},\
-             \"args\":{{\"name\":\"rank {r}\"}}}}"
-        ));
-    }
-    for (id, op) in schedule.ops.iter().enumerate() {
-        let (name, cat, tid) = match &op.kind {
-            OpKind::Copy { src_rank, dst_rank, bytes, mech, exec, .. } => (
-                format!("{mech:?} {src_rank}->{dst_rank} ({bytes}B)"),
-                "copy",
-                *exec,
-            ),
-            OpKind::Notify { from, to } => (format!("notify {from}->{to}"), "notify", *from),
-        };
-        let ts = report.op_start[id] * 1e6;
-        let dur = (report.op_finish[id] - report.op_start[id]).max(0.0) * 1e6;
-        events.push(format!(
-            "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\
-             \"ts\":{ts:.3},\"dur\":{dur:.3},\"args\":{{\"op\":{id}}}}}",
-            esc(&name)
-        ));
-    }
-    format!("{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
+    let events = sim_events(schedule, report);
+    let meta = TraceMeta::sim().with_ranks(schedule.num_ranks);
+    chrome_trace(&events, &meta)
 }
 
 #[cfg(test)]
@@ -70,12 +96,15 @@ mod tests {
 
         let parsed: serde_json::Value = serde_json::from_str(&trace).expect("valid JSON");
         let events = parsed["traceEvents"].as_array().unwrap();
-        assert_eq!(events.len(), 4 + 3, "4 rank names + 3 ops");
+        assert_eq!(events.len(), 1 + 4 + 3, "process name + 4 rank names + 3 ops");
+        assert_eq!(events[0]["args"]["name"], "sim", "sim runs are labelled");
+        assert_eq!(events[0]["pid"].as_u64(), Some(1));
         // Durations are non-negative and ordered along the dependency chain.
         let xs: Vec<&serde_json::Value> =
             events.iter().filter(|e| e["ph"] == "X").collect();
         assert_eq!(xs.len(), 3);
         assert!(xs.iter().all(|e| e["dur"].as_f64().unwrap() >= 0.0));
+        assert_eq!(xs[0]["args"]["bytes"].as_u64(), Some(4096));
         let t0 = xs[0]["ts"].as_f64().unwrap() + xs[0]["dur"].as_f64().unwrap();
         let t2 = xs[2]["ts"].as_f64().unwrap();
         assert!(t2 >= t0, "dependent copy starts after the first finishes");
@@ -84,5 +113,9 @@ mod tests {
     #[test]
     fn labels_are_escaped() {
         assert_eq!(esc(r#"a"b\c"#), r#"a\"b\\c"#);
+        // Control characters are escaped too (the simnet escaper is the
+        // shared telemetry escaper).
+        assert_eq!(esc("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(esc("x\u{2}y"), "x\\u0002y");
     }
 }

@@ -1,0 +1,203 @@
+//! Chrome Trace Event JSON export.
+//!
+//! One exporter for every run shape: the simulator's report-derived events
+//! and the real executor's recorded events both render here, so a
+//! simulated and a real run of the same schedule open side-by-side in
+//! [Perfetto](https://ui.perfetto.dev) (or `chrome://tracing`). Each run
+//! carries a stable `pid` and a process label (`sim` vs `real`), so two
+//! loaded traces never collide on rows, and every rank row is named via
+//! `thread_name` metadata.
+
+use std::collections::BTreeMap;
+
+use crate::event::{ArgValue, Event, EventKind};
+
+/// Escapes a string for inclusion in a JSON string literal: quotes,
+/// backslashes **and** control characters (`\n`, `\t`, raw bytes below
+/// 0x20), so generated trace JSON is valid regardless of the label
+/// content. This is the one escaper of the workspace — `simnet::trace`
+/// reuses it.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Identity of one exported run: the `pid` its rows live under, the
+/// process label shown in the UI, and the names of its thread rows.
+#[derive(Debug, Clone)]
+pub struct TraceMeta {
+    /// Process id of every event in this trace. Stable per run so traces
+    /// loaded together stay separate.
+    pub pid: u64,
+    /// Process label (`sim`, `real`, or anything descriptive).
+    pub label: String,
+    /// Names for thread rows (`tid` → name); unnamed tids that appear in
+    /// events are auto-named `rank <tid>`.
+    pub thread_names: BTreeMap<u64, String>,
+}
+
+impl TraceMeta {
+    /// A run with an explicit pid and label.
+    pub fn new(pid: u64, label: impl Into<String>) -> Self {
+        TraceMeta { pid, label: label.into(), thread_names: BTreeMap::new() }
+    }
+
+    /// The canonical identity of a simulated run: pid 1, label `sim`.
+    pub fn sim() -> Self {
+        TraceMeta::new(1, "sim")
+    }
+
+    /// The canonical identity of a real-thread run: pid 2, label `real`.
+    pub fn real() -> Self {
+        TraceMeta::new(2, "real")
+    }
+
+    /// Names tids `0..num_ranks` as `rank <r>`.
+    pub fn with_ranks(mut self, num_ranks: usize) -> Self {
+        for r in 0..num_ranks {
+            self.thread_names.insert(r as u64, format!("rank {r}"));
+        }
+        self
+    }
+
+    /// Names one thread row.
+    pub fn with_thread(mut self, tid: u64, name: impl Into<String>) -> Self {
+        self.thread_names.insert(tid, name.into());
+        self
+    }
+}
+
+fn render_args(args: &[(&'static str, ArgValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":", esc(k)));
+        match v {
+            ArgValue::U64(n) => out.push_str(&n.to_string()),
+            ArgValue::F64(f) if f.is_finite() => out.push_str(&format!("{f:?}")),
+            ArgValue::F64(_) => out.push_str("null"),
+            ArgValue::Str(s) => out.push_str(&format!("\"{}\"", esc(s))),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Renders `events` as a Chrome Trace Event JSON document under the run
+/// identity of `meta`. Timestamps are microseconds (the format's native
+/// unit). Spans become `X` events, instants become `i` events; metadata
+/// rows (`process_name`, `thread_name`) are emitted first.
+pub fn chrome_trace(events: &[Event], meta: &TraceMeta) -> String {
+    let pid = meta.pid;
+    let mut rows = Vec::with_capacity(events.len() + meta.thread_names.len() + 1);
+    rows.push(format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        esc(&meta.label)
+    ));
+
+    // Every tid gets a name row: explicit names first, then auto-names for
+    // tids that only appear in events.
+    let mut named: BTreeMap<u64, String> = meta.thread_names.clone();
+    for e in events {
+        named.entry(e.tid).or_insert_with(|| format!("rank {}", e.tid));
+    }
+    for (tid, name) in &named {
+        rows.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            esc(name)
+        ));
+    }
+
+    for e in events {
+        let args = render_args(&e.args);
+        match e.kind {
+            EventKind::Complete => rows.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\
+                 \"ts\":{:.3},\"dur\":{:.3},\"args\":{args}}}",
+                esc(&e.name),
+                esc(e.cat),
+                e.tid,
+                e.ts_us,
+                e.dur_us,
+            )),
+            EventKind::Instant => rows.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\
+                 \"tid\":{},\"ts\":{:.3},\"args\":{args}}}",
+                esc(&e.name),
+                esc(e.cat),
+                e.tid,
+                e.ts_us,
+            )),
+        }
+    }
+    format!("{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n{}\n]}}\n", rows.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(kind: EventKind, name: &str) -> Event {
+        Event {
+            seq: 0,
+            ts_us: 1.5,
+            dur_us: 2.0,
+            tid: 3,
+            name: name.into(),
+            cat: "test",
+            kind,
+            args: vec![("bytes", 4096u64.into()), ("mech", "Knem".into())],
+        }
+    }
+
+    #[test]
+    fn esc_handles_quotes_backslashes_and_control_chars() {
+        assert_eq!(esc(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(esc("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+        assert_eq!(esc("x\u{1}y"), "x\\u0001y");
+        assert_eq!(esc("plain"), "plain");
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_metadata() {
+        let events =
+            vec![event(EventKind::Complete, "copy 0->1"), event(EventKind::Instant, "retry\n2")];
+        let meta = TraceMeta::real().with_ranks(2);
+        let json = chrome_trace(&events, &meta);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let rows = parsed["traceEvents"].as_array().unwrap();
+        // process_name + 3 thread names (ranks 0,1 + auto tid 3) + 2 events.
+        assert_eq!(rows.len(), 1 + 3 + 2);
+        assert_eq!(rows[0]["args"]["name"], "real");
+        assert_eq!(rows[0]["pid"].as_u64(), Some(2));
+        let x: Vec<_> = rows.iter().filter(|r| r["ph"] == "X").collect();
+        assert_eq!(x.len(), 1);
+        assert_eq!(x[0]["args"]["bytes"].as_u64(), Some(4096));
+        let i: Vec<_> = rows.iter().filter(|r| r["ph"] == "i").collect();
+        assert_eq!(i.len(), 1);
+        assert_eq!(i[0]["name"].as_str(), Some("retry\n2"), "control char round-trips");
+    }
+
+    #[test]
+    fn sim_and_real_metas_do_not_collide() {
+        let sim = TraceMeta::sim();
+        let real = TraceMeta::real();
+        assert_ne!(sim.pid, real.pid);
+        assert_ne!(sim.label, real.label);
+    }
+}

@@ -1,0 +1,98 @@
+//! # pdac-telemetry — unified runtime observability
+//!
+//! One telemetry spine for every layer of the stack: the discrete-event
+//! simulator, the real-thread executor, the KNEM device model, the
+//! topology cache and the recovery machinery all speak to the same two
+//! primitives:
+//!
+//! * the **[`Recorder`]** — a sharded, bounded ring buffer of timestamped
+//!   [`Event`]s (spans and instants). Recording is compiled out entirely
+//!   unless the `enabled` cargo feature is on (downstream crates forward
+//!   it as their `telemetry` feature): without it, every `span`/`instant`
+//!   call is an empty inlined function — no clock read, no allocation, no
+//!   lock — so instrumented hot paths cost nothing in production builds.
+//! * the **[`Registry`]** — always-available named [`Counter`]s and
+//!   HDR-style log-bucketed [`LogHistogram`]s. This is the successor of
+//!   the ad-hoc stat structs (`SolverStats`, `FaultStats`, `KnemStats`,
+//!   `TopoCacheStats`): the structs survive as thin per-instance
+//!   compatibility accessors, but cross-run accounting flows into the
+//!   registry, where it can be snapshotted, serialized and diffed.
+//!
+//! The [`export`] module renders recorded events as Chrome Trace Event
+//! JSON (one format for simulated *and* real runs, so both open
+//! side-by-side in [Perfetto](https://ui.perfetto.dev)) and registry
+//! snapshots as JSON documents that `pdac-trace diff` compares for
+//! per-distance-class regression deltas.
+//!
+//! A process-global instance lives behind [`global()`]; layers that cannot
+//! thread a handle through their API record there.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod histogram;
+pub mod recorder;
+pub mod registry;
+pub mod snapshot;
+
+pub use event::{ArgValue, Event, EventKind};
+pub use export::{chrome_trace, esc, TraceMeta};
+pub use histogram::{bucket_bounds, bucket_index, LogHistogram};
+pub use recorder::{Recorder, Span};
+pub use registry::{Counter, Registry};
+pub use snapshot::{HistogramSnapshot, RegistrySnapshot, SnapshotDiff};
+
+use std::sync::OnceLock;
+
+/// The process-global recorder + registry pair.
+#[derive(Debug)]
+pub struct Telemetry {
+    recorder: Recorder,
+    registry: Registry,
+}
+
+impl Telemetry {
+    /// A fresh instance with the default recorder capacity.
+    pub fn new() -> Self {
+        Telemetry { recorder: Recorder::new(recorder::DEFAULT_CAPACITY), registry: Registry::new() }
+    }
+
+    /// The event recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Clears recorded events and zeroes every registered metric — the
+    /// start-of-run reset the `pdac-trace` CLI performs so one run's
+    /// artifacts describe exactly that run.
+    pub fn reset(&self) {
+        self.recorder.clear();
+        self.registry.reset();
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+/// The process-global telemetry instance. Layers without a way to thread a
+/// handle through their API (the KNEM device, the topology cache, the
+/// distance-matrix fill) record here; harnesses drain and snapshot it.
+pub fn global() -> &'static Telemetry {
+    static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+    GLOBAL.get_or_init(Telemetry::new)
+}
+
+/// True when the crate was built with event recording compiled in (the
+/// `enabled` feature; downstream crates call it `telemetry`).
+pub const fn recording_compiled() -> bool {
+    cfg!(feature = "enabled")
+}

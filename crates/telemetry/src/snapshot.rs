@@ -1,0 +1,226 @@
+//! Serializable metric snapshots and snapshot-to-snapshot diffs.
+//!
+//! A [`RegistrySnapshot`] is the JSON artifact one run leaves behind
+//! (`pdac-trace run` writes it next to the trace); [`RegistrySnapshot::diff`]
+//! compares two of them — counter deltas plus per-histogram count/mean
+//! movement — which is how a perf PR proves its per-distance-class latency
+//! numbers against a baseline run.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One non-empty histogram bucket: `count` values in `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive lower bound of the bucket.
+    pub lo: u64,
+    /// Inclusive upper bound of the bucket.
+    pub hi: u64,
+    /// Values recorded into the bucket.
+    pub count: u64,
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Non-empty buckets, ascending.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of a whole registry.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// One counter's movement between two snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterDelta {
+    /// Metric name.
+    pub name: String,
+    /// Value in the baseline snapshot (0 if absent).
+    pub base: u64,
+    /// Value in the compared snapshot (0 if absent).
+    pub new: u64,
+}
+
+/// One histogram's movement between two snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramDelta {
+    /// Metric name.
+    pub name: String,
+    /// Recorded-value counts, baseline → new.
+    pub base_count: u64,
+    /// Recorded-value count in the compared snapshot.
+    pub new_count: u64,
+    /// Mean in the baseline snapshot.
+    pub base_mean: f64,
+    /// Mean in the compared snapshot.
+    pub new_mean: f64,
+}
+
+impl HistogramDelta {
+    /// `new_mean / base_mean` (1.0 when the baseline is empty).
+    pub fn mean_ratio(&self) -> f64 {
+        if self.base_mean == 0.0 {
+            1.0
+        } else {
+            self.new_mean / self.base_mean
+        }
+    }
+}
+
+/// The result of comparing two snapshots. Only changed metrics appear.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotDiff {
+    /// Counters whose value moved, sorted by name.
+    pub counters: Vec<CounterDelta>,
+    /// Histograms whose count or mean moved, sorted by name.
+    pub histograms: Vec<HistogramDelta>,
+}
+
+impl SnapshotDiff {
+    /// True when the two snapshots agree on every metric.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Human-readable multi-line rendering (`pdac-trace diff` output).
+    pub fn render(&self) -> String {
+        if self.is_empty() {
+            return "no differences\n".to_string();
+        }
+        let mut out = String::new();
+        for c in &self.counters {
+            let delta = c.new as i128 - c.base as i128;
+            out.push_str(&format!("counter {:<40} {:>12} -> {:<12} ({:+})\n", c.name, c.base, c.new, delta));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!(
+                "hist    {:<40} count {} -> {}, mean {:.1} -> {:.1} ({:.2}x)\n",
+                h.name,
+                h.base_count,
+                h.new_count,
+                h.base_mean,
+                h.new_mean,
+                h.mean_ratio(),
+            ));
+        }
+        out
+    }
+}
+
+impl RegistrySnapshot {
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Parses a snapshot previously written by [`RegistrySnapshot::to_json`].
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Changes from `baseline` to `self`: counters and histograms present
+    /// in either snapshot whose values moved.
+    pub fn diff(&self, baseline: &RegistrySnapshot) -> SnapshotDiff {
+        let mut counters = Vec::new();
+        let names: std::collections::BTreeSet<&String> =
+            self.counters.keys().chain(baseline.counters.keys()).collect();
+        for name in names {
+            let base = baseline.counters.get(name).copied().unwrap_or(0);
+            let new = self.counters.get(name).copied().unwrap_or(0);
+            if base != new {
+                counters.push(CounterDelta { name: name.clone(), base, new });
+            }
+        }
+        let mut histograms = Vec::new();
+        let names: std::collections::BTreeSet<&String> =
+            self.histograms.keys().chain(baseline.histograms.keys()).collect();
+        let empty = HistogramSnapshot { count: 0, sum: 0, buckets: Vec::new() };
+        for name in names {
+            let base = baseline.histograms.get(name).unwrap_or(&empty);
+            let new = self.histograms.get(name).unwrap_or(&empty);
+            if base.count != new.count || base.sum != new.sum {
+                histograms.push(HistogramDelta {
+                    name: name.clone(),
+                    base_count: base.count,
+                    new_count: new.count,
+                    base_mean: base.mean(),
+                    new_mean: new.mean(),
+                });
+            }
+        }
+        SnapshotDiff { counters, histograms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn json_round_trip() {
+        let reg = Registry::new();
+        reg.add("knem.copies", 42);
+        reg.histogram("exec.op_ns.dist5").record(1500);
+        reg.histogram("exec.op_ns.dist5").record(3000);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        let back = RegistrySnapshot::from_json(&json).expect("parses");
+        assert_eq!(back, snap);
+        assert_eq!(back.counters["knem.copies"], 42);
+        assert_eq!(back.histograms["exec.op_ns.dist5"].count, 2);
+    }
+
+    #[test]
+    fn diff_reports_only_changes() {
+        let reg = Registry::new();
+        reg.add("a", 1);
+        reg.add("same", 5);
+        reg.histogram("h").record(100);
+        let base = reg.snapshot();
+        reg.add("a", 2);
+        reg.histogram("h").record(300);
+        let new = reg.snapshot();
+        let diff = new.diff(&base);
+        assert_eq!(diff.counters.len(), 1);
+        assert_eq!(diff.counters[0], CounterDelta { name: "a".into(), base: 1, new: 3 });
+        assert_eq!(diff.histograms.len(), 1);
+        assert_eq!(diff.histograms[0].base_count, 1);
+        assert_eq!(diff.histograms[0].new_count, 2);
+        assert_eq!(diff.histograms[0].new_mean, 200.0);
+        assert!(diff.render().contains("counter a"));
+        assert!(new.diff(&new).is_empty());
+    }
+
+    #[test]
+    fn diff_handles_missing_metrics() {
+        let mut a = RegistrySnapshot::default();
+        a.counters.insert("only_in_a".into(), 3);
+        let b = RegistrySnapshot::default();
+        let d = b.diff(&a);
+        assert_eq!(d.counters[0].base, 3);
+        assert_eq!(d.counters[0].new, 0);
+    }
+}

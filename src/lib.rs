@@ -7,7 +7,9 @@
 //! * [`simnet`] — discrete-event memory-system simulator;
 //! * [`mpisim`] — MPI-like runtime, KNEM model, thread executor;
 //! * [`collectives`] — distance-aware topologies, baselines, schedules;
-//! * [`mpi`] — the typed MPI-style session API on top of everything.
+//! * [`mpi`] — the typed MPI-style session API on top of everything;
+//! * [`telemetry`] — event recorder, metrics registry, trace export
+//!   (recording compiles in with the `telemetry` feature).
 //!
 //! The whole pipeline in a dozen lines — machine, hostile placement,
 //! distance-aware broadcast, simulated timing, byte-exact verification:
@@ -38,3 +40,4 @@ pub use pdac_hwtopo as hwtopo;
 pub use pdac_mpi as mpi;
 pub use pdac_mpisim as mpisim;
 pub use pdac_simnet as simnet;
+pub use pdac_telemetry as telemetry;
