@@ -1,0 +1,110 @@
+//! `pdac-bench` — the continuous benchmark regression gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! pdac-bench gate [--baseline <path>] [--out <path>] [--update-baseline]
+//! pdac-bench list
+//! ```
+//!
+//! `gate` runs the canonical collective matrix (bcast / allgather /
+//! allreduce, small and large sizes, contiguous and cross-socket
+//! placements, across the hwtopo machine set) through the deterministic
+//! timing simulator, writes the results to `BENCH_collectives.json`
+//! (`--out`), and compares them against the checked-in baseline
+//! (`--baseline`, default `baselines/BENCH_collectives.baseline.json`).
+//! Any scenario slower than baseline beyond tolerance, with a grown
+//! schedule, or with degraded critical-path coverage fails the gate with
+//! exit code 1 — that is the CI contract.
+//!
+//! `--update-baseline` writes the current results to the baseline path
+//! instead of comparing; commit the refreshed file together with the
+//! change that legitimately moved the numbers.
+//!
+//! `list` prints the scenario matrix without running it.
+
+use pdac_bench::gate::{canonical_scenarios, compare, run_gate_scenarios, GateReport, Tolerances};
+
+const DEFAULT_BASELINE: &str = "baselines/BENCH_collectives.baseline.json";
+const DEFAULT_OUT: &str = "BENCH_collectives.json";
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  pdac-bench gate [--baseline <path>] [--out <path>] [--update-baseline]\n  \
+         pdac-bench list"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gate") => std::process::exit(gate(&args[1..])),
+        Some("list") => list(),
+        _ => usage(),
+    }
+}
+
+fn list() {
+    for s in canonical_scenarios() {
+        println!("{}", s.id);
+    }
+}
+
+fn gate(args: &[String]) -> i32 {
+    let mut baseline_path = DEFAULT_BASELINE.to_string();
+    let mut out_path = DEFAULT_OUT.to_string();
+    let mut update_baseline = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = it.next().cloned().unwrap_or_else(|| usage()),
+            "--out" => out_path = it.next().cloned().unwrap_or_else(|| usage()),
+            "--update-baseline" => update_baseline = true,
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+
+    eprintln!("running {} gate scenarios...", canonical_scenarios().len());
+    let report = run_gate_scenarios();
+
+    if update_baseline {
+        if let Some(dir) = std::path::Path::new(&baseline_path).parent() {
+            std::fs::create_dir_all(dir).expect("baseline dir");
+        }
+        std::fs::write(&baseline_path, report.to_json()).expect("write baseline");
+        println!(
+            "wrote {baseline_path} ({} scenarios)",
+            report.scenarios.len()
+        );
+        return 0;
+    }
+
+    std::fs::write(&out_path, report.to_json()).expect("write gate report");
+    println!("wrote {out_path} ({} scenarios)", report.scenarios.len());
+
+    let baseline_body = match std::fs::read_to_string(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "cannot read baseline {baseline_path}: {e}\n\
+                 run `pdac-bench gate --update-baseline` to create it"
+            );
+            return 1;
+        }
+    };
+    let baseline = match GateReport::from_json(&baseline_body) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{baseline_path}: {e}");
+            return 1;
+        }
+    };
+
+    let outcome = compare(&report, &baseline, Tolerances::default());
+    print!("{}", outcome.render());
+    outcome.exit_code()
+}

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! pdac-trace run [bcast|allgather|allreduce] [ranks] [bytes] [outdir]
+//! pdac-trace analyze [outdir]
 //! pdac-trace diff <base-metrics.json> <new-metrics.json>
 //! ```
 //!
@@ -22,24 +23,40 @@
 //! * `metrics.json` — registry snapshot: counters plus log-bucketed
 //!   latency histograms per op kind and distance class
 //!   (`exec.op_ns.<mech>.d<class>`).
+//! * `critical_path.json` — per-leg critical-path reports: the longest
+//!   causal chain of the run, with time attributed per rank, mechanism
+//!   and distance class.
+//! * `divergence.json` — the sim-vs-real model-drift report: per
+//!   (mechanism, distance-class) real/sim ratios, normalized by the run's
+//!   global calibration scale and flagged beyond tolerance.
+//!
+//! `analyze` recomputes the two reports offline from the saved
+//! `trace_real.json` / `trace_sim.json` of an earlier `run` — the traces
+//! are self-describing (op ids, distance classes and dependency links ride
+//! in the span args).
 //!
 //! `diff` compares two `metrics.json` snapshots and prints counter deltas
-//! and per-histogram (so per-distance-class) count/mean shifts — the
-//! regression report between two builds or configurations.
+//! and per-histogram (so per-distance-class) count/mean/percentile shifts
+//! — the regression report between two builds or configurations.
 
 use std::sync::Arc;
 
+use pdac_analyze::{
+    events_from_chrome_trace, CriticalPathReport, DivergenceConfig, DivergenceReport, OpGraph,
+};
 use pdac_core::verify::pattern;
 use pdac_core::AdaptiveColl;
 use pdac_hwtopo::{machines, BindingPolicy, DistanceMatrix};
 use pdac_mpisim::{Communicator, ThreadExecutor};
-use pdac_simnet::{trace::sim_events, SimConfig, SimExecutor};
+use pdac_simnet::trace::sim_events_with_distances;
+use pdac_simnet::{SimConfig, SimExecutor};
 use pdac_telemetry::export::{chrome_trace, TraceMeta};
 use pdac_telemetry::RegistrySnapshot;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  pdac-trace run [bcast|allgather|allreduce] [ranks] [bytes] [outdir]\n  \
+         pdac-trace analyze [outdir]\n  \
          pdac-trace diff <base-metrics.json> <new-metrics.json>"
     );
     std::process::exit(2);
@@ -49,16 +66,56 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
+        Some("analyze") => analyze(&args[1..]),
         Some("diff") => diff(&args[1..]),
         _ => usage(),
     }
 }
 
+/// Renders the two per-leg critical-path reports plus the divergence
+/// report, and writes `critical_path.json` / `divergence.json` to
+/// `outdir`. Shared by `run` (in-process events) and `analyze` (events
+/// re-parsed from the saved traces).
+fn write_reports(outdir: &str, real: &OpGraph, sim: &OpGraph) {
+    let cp_real = CriticalPathReport::extract(real);
+    let cp_sim = CriticalPathReport::extract(sim);
+    let div = DivergenceReport::compare(real, sim, DivergenceConfig::default());
+
+    let write = |name: &str, body: &str| {
+        let path = format!("{outdir}/{name}");
+        std::fs::write(&path, body).expect("write artifact");
+        println!("wrote {path}");
+    };
+    write(
+        "critical_path.json",
+        &format!(
+            "{{\"real\":{},\"sim\":{}}}\n",
+            cp_real.to_json(),
+            cp_sim.to_json()
+        ),
+    );
+    write("divergence.json", &div.to_json());
+
+    println!("-- sim leg --");
+    print!("{}", cp_sim.render());
+    println!("-- real leg --");
+    print!("{}", cp_real.render());
+    println!("-- sim vs real --");
+    print!("{}", div.render());
+}
+
 fn run(args: &[String]) {
-    let what = args.first().map(String::as_str).unwrap_or("bcast").to_string();
+    let what = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("bcast")
+        .to_string();
     let ranks: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
     let bytes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1 << 16);
-    let outdir = args.get(3).cloned().unwrap_or_else(|| "results/pdac_trace".into());
+    let outdir = args
+        .get(3)
+        .cloned()
+        .unwrap_or_else(|| "results/pdac_trace".into());
 
     let machine = Arc::new(machines::ig());
     let binding = BindingPolicy::Contiguous
@@ -95,16 +152,20 @@ fn run(args: &[String]) {
         .run(&schedule, pattern)
         .expect("collective executes");
     let real_events = telemetry.recorder().drain();
-    let real_trace =
-        chrome_trace(&real_events, &TraceMeta::real().with_ranks(schedule.num_ranks));
+    let real_trace = chrome_trace(
+        &real_events,
+        &TraceMeta::real().with_ranks(schedule.num_ranks),
+    );
 
     // Sim leg: the same schedule through the contention model; events come
-    // from the report but render through the same exporter.
+    // from the report but render through the same exporter, with distance
+    // classes and dependency links in the args.
     let report = SimExecutor::new(&machine, &binding, SimConfig::default())
         .run(&schedule)
         .expect("schedule validates");
+    let sim_leg_events = sim_events_with_distances(&schedule, &report, Some(&distances));
     let sim_trace = chrome_trace(
-        &sim_events(&schedule, &report),
+        &sim_leg_events,
         &TraceMeta::sim().with_ranks(schedule.num_ranks),
     );
 
@@ -119,6 +180,12 @@ fn run(args: &[String]) {
     write("trace_real.json", &real_trace);
     write("trace_sim.json", &sim_trace);
     write("metrics.json", &metrics);
+
+    write_reports(
+        &outdir,
+        &OpGraph::from_events(&real_events),
+        &OpGraph::from_events(&sim_leg_events),
+    );
 
     println!(
         "{}: {} ops over {} ranks; real run {} KNEM copies, sim {:.3} ms",
@@ -137,11 +204,27 @@ fn run(args: &[String]) {
     println!("load both traces in ui.perfetto.dev to compare real vs sim side-by-side");
 }
 
+fn analyze(args: &[String]) {
+    let outdir = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "results/pdac_trace".into());
+    let load = |name: &str| -> OpGraph {
+        let path = format!("{outdir}/{name}");
+        let body = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path} (run `pdac-trace run` first): {e}"));
+        let events = events_from_chrome_trace(&body)
+            .unwrap_or_else(|e| panic!("{path} is not a trace: {e}"));
+        OpGraph::from_events(&events)
+    };
+    write_reports(&outdir, &load("trace_real.json"), &load("trace_sim.json"));
+}
+
 fn diff(args: &[String]) {
     let [base_path, new_path] = args else { usage() };
     let load = |path: &str| -> RegistrySnapshot {
-        let body = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let body =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
         RegistrySnapshot::from_json(&body)
             .unwrap_or_else(|e| panic!("{path} is not a metrics snapshot: {e}"))
     };

@@ -1,0 +1,459 @@
+//! The continuous benchmark regression gate.
+//!
+//! `pdac-bench gate` runs a canonical scenario matrix — bcast / allgather /
+//! allreduce at small and large sizes, contiguous and cross-socket
+//! placements, across the hwtopo machine set — through the timing
+//! simulator, writes the results as `BENCH_collectives.json`, and compares
+//! them against the checked-in `baselines/BENCH_collectives.baseline.json`.
+//!
+//! The simulator is deterministic, so run-to-run noise is zero and the
+//! per-metric tolerances only need to absorb *intentional* model
+//! calibration tweaks, not machine jitter. A change that slows a scenario
+//! beyond tolerance, grows its schedule, or breaks critical-path coverage
+//! fails the gate (nonzero exit in the binary); a change that makes things
+//! faster passes and shows up as an improvement in the report, prompting a
+//! baseline refresh.
+
+use std::sync::Arc;
+
+use pdac_analyze::{CriticalPathReport, OpGraph};
+use pdac_core::{build_bcast_tree, sched::SchedConfig, AdaptiveColl};
+use pdac_hwtopo::{machines, BindingPolicy, DistanceMatrix, Machine};
+use pdac_mpisim::Communicator;
+use pdac_simnet::trace::sim_events_with_distances;
+use pdac_simnet::{Schedule, SimConfig, SimExecutor};
+use serde::{Deserialize, Serialize};
+
+/// Which collective a scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Collective {
+    /// Distance-aware broadcast.
+    Bcast,
+    /// Distance-aware allgather (size is the per-rank block).
+    Allgather,
+    /// Tree allreduce (reduce + bcast down the same tree).
+    Allreduce,
+}
+
+impl Collective {
+    fn label(&self) -> &'static str {
+        match self {
+            Collective::Bcast => "bcast",
+            Collective::Allgather => "allgather",
+            Collective::Allreduce => "allreduce",
+        }
+    }
+}
+
+/// One cell of the canonical matrix.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable id (`ig/bcast/contig/1M`) — the join key against baselines.
+    pub id: String,
+    /// Machine label.
+    pub machine: String,
+    /// Collective under test.
+    pub collective: Collective,
+    /// Placement policy.
+    pub policy: BindingPolicy,
+    /// Message (or block) bytes.
+    pub bytes: usize,
+}
+
+/// The canonical scenario matrix: every hwtopo machine, three collectives,
+/// a small and a large size, best-case and worst-case placement.
+pub fn canonical_scenarios() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for machine in ["ig", "zoot", "syn2x2x8"] {
+        for (collective, sizes) in [
+            (Collective::Bcast, [16 << 10, 1 << 20]),
+            (Collective::Allgather, [4 << 10, 64 << 10]),
+            (Collective::Allreduce, [16 << 10, 1 << 20]),
+        ] {
+            for bytes in sizes {
+                for (placement, policy) in [
+                    ("contig", BindingPolicy::Contiguous),
+                    ("xsock", BindingPolicy::CrossSocket),
+                ] {
+                    out.push(Scenario {
+                        id: format!(
+                            "{machine}/{}/{placement}/{}",
+                            collective.label(),
+                            crate::human_size(bytes)
+                        ),
+                        machine: machine.to_string(),
+                        collective,
+                        policy,
+                        bytes,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn machine_by_label(label: &str) -> Machine {
+    match label {
+        "ig" => machines::ig(),
+        "zoot" => machines::zoot(),
+        "syn2x2x8" => machines::synthetic(2, 2, 8, true),
+        other => panic!("unknown gate machine {other}"),
+    }
+}
+
+/// The measured metrics of one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Scenario id (join key).
+    pub id: String,
+    /// Ranks the collective ran over.
+    pub ranks: usize,
+    /// Message (or block) bytes.
+    pub bytes: usize,
+    /// Simulated completion time, seconds.
+    pub seconds: f64,
+    /// Nominal bandwidth in MB/s (collective-specific normalization; only
+    /// comparable against the same scenario's baseline).
+    pub bw_mbs: f64,
+    /// Operation count of the schedule.
+    pub ops: usize,
+    /// Critical-path coverage of the simulated run (share of wall time the
+    /// analyzer attributes to identified spans).
+    pub coverage: f64,
+}
+
+/// The gate's output document (`BENCH_collectives.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateReport {
+    /// Format version of this document.
+    pub schema_version: u32,
+    /// One row per canonical scenario.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl GateReport {
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parses a report or baseline document.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("bad gate report JSON: {e:?}"))
+    }
+
+    /// The row for `id`, if present.
+    pub fn get(&self, id: &str) -> Option<&ScenarioResult> {
+        self.scenarios.iter().find(|s| s.id == id)
+    }
+}
+
+fn build_schedule(scenario: &Scenario, comm: &Communicator) -> Schedule {
+    let coll = AdaptiveColl::default();
+    match scenario.collective {
+        Collective::Bcast => coll.bcast(comm, 0, scenario.bytes),
+        Collective::Allgather => coll.allgather(comm, scenario.bytes),
+        Collective::Allreduce => {
+            let tree = build_bcast_tree(&comm.distances(), 0);
+            pdac_core::sched::allreduce_schedule(&tree, scenario.bytes, &SchedConfig::default())
+        }
+    }
+}
+
+/// Runs one scenario through the simulator and the critical-path analyzer.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
+    let machine = Arc::new(machine_by_label(&scenario.machine));
+    let ranks = machine.num_cores();
+    let binding = scenario
+        .policy
+        .bind(&machine, ranks)
+        .expect("gate placement fits");
+    let comm = Communicator::world(Arc::clone(&machine), binding.clone());
+    let schedule = build_schedule(scenario, &comm);
+    let report = SimExecutor::new(&machine, &binding, SimConfig::default())
+        .run(&schedule)
+        .expect("gate schedules validate");
+
+    let dist = DistanceMatrix::for_binding(&machine, &binding);
+    let events = sim_events_with_distances(&schedule, &report, Some(&dist));
+    let cp = CriticalPathReport::extract(&OpGraph::from_events(&events));
+
+    let n = ranks;
+    let bw_mbs = match scenario.collective {
+        Collective::Bcast | Collective::Allreduce => {
+            pdac_simnet::bw_bcast(n, scenario.bytes, report.total_time)
+        }
+        Collective::Allgather => pdac_simnet::bw_allgather(n, scenario.bytes, report.total_time),
+    };
+    ScenarioResult {
+        id: scenario.id.clone(),
+        ranks,
+        bytes: scenario.bytes,
+        seconds: report.total_time,
+        bw_mbs,
+        ops: schedule.ops.len(),
+        coverage: cp.coverage,
+    }
+}
+
+/// Runs the whole canonical matrix.
+pub fn run_gate_scenarios() -> GateReport {
+    GateReport {
+        schema_version: 1,
+        scenarios: canonical_scenarios().iter().map(run_scenario).collect(),
+    }
+}
+
+/// Per-metric tolerances of the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tolerances {
+    /// Allowed relative slowdown of `seconds` (0.05 = 5% slower passes).
+    pub seconds_rel: f64,
+    /// Allowed relative growth of the schedule's op count.
+    pub ops_rel: f64,
+    /// Minimum critical-path coverage every scenario must keep.
+    pub coverage_min: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            seconds_rel: 0.05,
+            ops_rel: 0.25,
+            coverage_min: 0.90,
+        }
+    }
+}
+
+/// One tolerance violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Scenario id.
+    pub id: String,
+    /// Metric that regressed (`seconds`, `ops`, `coverage`, `missing`).
+    pub metric: String,
+    /// Baseline value (0 for `missing`).
+    pub baseline: f64,
+    /// Current value (0 for `missing`).
+    pub current: f64,
+    /// The limit the current value crossed.
+    pub limit: f64,
+}
+
+/// The verdict of one gate comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateOutcome {
+    /// Scenarios compared against the baseline.
+    pub compared: usize,
+    /// Scenarios that got faster by more than the tolerance (informational).
+    pub improved: Vec<String>,
+    /// Tolerance violations (any entry fails the gate).
+    pub violations: Vec<Violation>,
+    /// Scenario ids present only in the current run (new scenarios are
+    /// informational — they fail nothing until the baseline knows them).
+    pub added: Vec<String>,
+}
+
+impl GateOutcome {
+    /// True when the gate passes.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Process exit code the gate binary should return.
+    pub fn exit_code(&self) -> i32 {
+        if self.passed() {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "gate: {} scenarios compared, {} violations, {} improved, {} new\n",
+            self.compared,
+            self.violations.len(),
+            self.improved.len(),
+            self.added.len(),
+        );
+        for v in &self.violations {
+            out.push_str(&format!(
+                "  FAIL {}  {}: baseline {:.6e} -> current {:.6e} (limit {:.6e})\n",
+                v.id, v.metric, v.baseline, v.current, v.limit,
+            ));
+        }
+        for id in &self.improved {
+            out.push_str(&format!(
+                "  improved {id} (consider refreshing the baseline)\n"
+            ));
+        }
+        for id in &self.added {
+            out.push_str(&format!("  new scenario {id} (absent from baseline)\n"));
+        }
+        out.push_str(if self.passed() {
+            "gate: PASS\n"
+        } else {
+            "gate: FAIL\n"
+        });
+        out
+    }
+}
+
+/// Compares a current run against the checked-in baseline.
+///
+/// A scenario fails on: `seconds` above baseline by more than
+/// `seconds_rel`, `ops` grown by more than `ops_rel`, `coverage` below
+/// `coverage_min`, or disappearing from the run while the baseline still
+/// lists it. Improvements beyond tolerance are reported, not failed.
+pub fn compare(current: &GateReport, baseline: &GateReport, tol: Tolerances) -> GateOutcome {
+    let mut outcome = GateOutcome {
+        compared: 0,
+        improved: Vec::new(),
+        violations: Vec::new(),
+        added: Vec::new(),
+    };
+    for base in &baseline.scenarios {
+        let Some(cur) = current.get(&base.id) else {
+            outcome.violations.push(Violation {
+                id: base.id.clone(),
+                metric: "missing".into(),
+                baseline: 1.0,
+                current: 0.0,
+                limit: 1.0,
+            });
+            continue;
+        };
+        outcome.compared += 1;
+        let seconds_limit = base.seconds * (1.0 + tol.seconds_rel);
+        if cur.seconds > seconds_limit {
+            outcome.violations.push(Violation {
+                id: base.id.clone(),
+                metric: "seconds".into(),
+                baseline: base.seconds,
+                current: cur.seconds,
+                limit: seconds_limit,
+            });
+        } else if cur.seconds < base.seconds * (1.0 - tol.seconds_rel) {
+            outcome.improved.push(base.id.clone());
+        }
+        let ops_limit = base.ops as f64 * (1.0 + tol.ops_rel);
+        if cur.ops as f64 > ops_limit {
+            outcome.violations.push(Violation {
+                id: base.id.clone(),
+                metric: "ops".into(),
+                baseline: base.ops as f64,
+                current: cur.ops as f64,
+                limit: ops_limit,
+            });
+        }
+        if cur.coverage < tol.coverage_min {
+            outcome.violations.push(Violation {
+                id: base.id.clone(),
+                metric: "coverage".into(),
+                baseline: base.coverage,
+                current: cur.coverage,
+                limit: tol.coverage_min,
+            });
+        }
+    }
+    for cur in &current.scenarios {
+        if baseline.get(&cur.id).is_none() {
+            outcome.added.push(cur.id.clone());
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_report() -> GateReport {
+        // One cheap scenario per collective keeps the unit tests fast; the
+        // full matrix runs in the integration test and the binary.
+        let scenarios: Vec<Scenario> = canonical_scenarios()
+            .into_iter()
+            .filter(|s| s.machine == "zoot" && matches!(s.policy, BindingPolicy::Contiguous))
+            .filter(|s| s.bytes <= 16 << 10)
+            .collect();
+        assert!(!scenarios.is_empty());
+        GateReport {
+            schema_version: 1,
+            scenarios: scenarios.iter().map(run_scenario).collect(),
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_and_covered() {
+        let a = small_report();
+        let b = small_report();
+        assert_eq!(a, b, "the simulator gate is deterministic");
+        for s in &a.scenarios {
+            assert!(s.seconds > 0.0, "{} has a positive runtime", s.id);
+            assert!(s.ops > 0);
+            assert!(s.coverage >= 0.90, "{} coverage {:.3}", s.id, s.coverage);
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass_the_gate() {
+        let report = small_report();
+        let outcome = compare(&report, &report, Tolerances::default());
+        assert!(outcome.passed());
+        assert_eq!(outcome.exit_code(), 0);
+        assert_eq!(outcome.compared, report.scenarios.len());
+        assert!(outcome.render().contains("gate: PASS"));
+    }
+
+    #[test]
+    fn degraded_baseline_fails_with_nonzero_exit() {
+        let report = small_report();
+        // A deliberately degraded baseline: the past was 2x faster and
+        // used half the ops, so the current run reads as a regression.
+        let mut degraded = report.clone();
+        for s in &mut degraded.scenarios {
+            s.seconds /= 2.0;
+            s.ops /= 2;
+        }
+        let outcome = compare(&report, &degraded, Tolerances::default());
+        assert!(!outcome.passed());
+        assert_ne!(outcome.exit_code(), 0, "regressions must exit nonzero");
+        assert!(outcome.violations.iter().any(|v| v.metric == "seconds"));
+        assert!(outcome.violations.iter().any(|v| v.metric == "ops"));
+        assert!(outcome.render().contains("gate: FAIL"));
+    }
+
+    #[test]
+    fn missing_and_added_scenarios_are_tracked() {
+        let report = small_report();
+        let mut baseline = report.clone();
+        baseline.scenarios.push(ScenarioResult {
+            id: "ghost/bcast/contig/1M".into(),
+            ranks: 4,
+            bytes: 1 << 20,
+            seconds: 1.0,
+            bw_mbs: 1.0,
+            ops: 10,
+            coverage: 1.0,
+        });
+        let mut current = report.clone();
+        current.scenarios.push(ScenarioResult {
+            id: "novel/bcast/contig/1M".into(),
+            ..baseline.scenarios.last().unwrap().clone()
+        });
+        let outcome = compare(&current, &baseline, Tolerances::default());
+        assert!(outcome.violations.iter().any(|v| v.metric == "missing"));
+        assert_eq!(outcome.added, vec!["novel/bcast/contig/1M".to_string()]);
+    }
+
+    #[test]
+    fn gate_report_json_round_trips() {
+        let report = small_report();
+        let back = GateReport::from_json(&report.to_json()).expect("round trip");
+        assert_eq!(back, report);
+        assert!(GateReport::from_json("not json").is_err());
+    }
+}

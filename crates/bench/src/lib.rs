@@ -14,6 +14,8 @@
 
 #![warn(missing_docs)]
 
+pub mod gate;
+
 use std::sync::Arc;
 
 use pdac_hwtopo::{Binding, BindingPolicy, Machine};
@@ -66,14 +68,18 @@ pub fn run_figure(
             let mut series = Series::new(curve.label.clone());
             for &size in sizes {
                 let schedule = (curve.build)(&comm, size);
-                let report = SimExecutor::new(&machine, &binding, SimConfig { allow_cache: !off_cache })
-                    .run(&schedule)
-                    .expect("figure schedules validate");
+                let report = SimExecutor::new(
+                    &machine,
+                    &binding,
+                    SimConfig {
+                        allow_cache: !off_cache,
+                    },
+                )
+                .run(&schedule)
+                .expect("figure schedules validate");
                 let bw = match kind {
                     BwKind::Bcast => pdac_simnet::bw_bcast(ranks, size, report.total_time),
-                    BwKind::Allgather => {
-                        pdac_simnet::bw_allgather(ranks, size, report.total_time)
-                    }
+                    BwKind::Allgather => pdac_simnet::bw_allgather(ranks, size, report.total_time),
                 };
                 series.points.push(SweepPoint {
                     msg_bytes: size,
@@ -176,7 +182,10 @@ pub fn write_json(name: &str, series: &[Series]) -> std::io::Result<std::path::P
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(series).expect("series serialize"))?;
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(series).expect("series serialize"),
+    )?;
     Ok(path)
 }
 
@@ -221,7 +230,11 @@ mod tests {
             points: bws
                 .iter()
                 .enumerate()
-                .map(|(i, &bw)| SweepPoint { msg_bytes: 512 << i, bw_mbs: bw, seconds: 1.0 })
+                .map(|(i, &bw)| SweepPoint {
+                    msg_bytes: 512 << i,
+                    bw_mbs: bw,
+                    seconds: 1.0,
+                })
                 .collect(),
         };
         let series = vec![mk("a", &[10.0, 20.0, 40.0]), mk("b", &[40.0, 20.0, 10.0])];
@@ -229,7 +242,11 @@ mod tests {
         assert!(chart.contains("o a"));
         assert!(chart.contains("x b"));
         assert!(chart.contains('&'), "equal midpoints overlap");
-        assert_eq!(chart.matches('x').count(), 2 + 1, "two plotted points + legend");
+        assert_eq!(
+            chart.matches('x').count(),
+            2 + 1,
+            "two plotted points + legend"
+        );
         assert!(render_chart(&[], 8).is_empty());
     }
 
@@ -237,13 +254,21 @@ mod tests {
     fn loss_pct_basics() {
         let mk = |bw: f64| {
             let mut s = Series::new("x");
-            s.points.push(SweepPoint { msg_bytes: 1024, bw_mbs: bw, seconds: 1.0 });
+            s.points.push(SweepPoint {
+                msg_bytes: 1024,
+                bw_mbs: bw,
+                seconds: 1.0,
+            });
             s
         };
         let a = mk(100.0);
         let b = mk(55.0);
         assert!((loss_pct(&a, &b, 1024) - 45.0).abs() < 1e-9);
-        assert_eq!(loss_pct(&a, &b, 2048), 0.0, "missing size contributes nothing");
+        assert_eq!(
+            loss_pct(&a, &b, 2048),
+            0.0,
+            "missing size contributes nothing"
+        );
         assert!((max_loss_pct(&a, &b, 0) - 45.0).abs() < 1e-9);
     }
 }

@@ -62,10 +62,24 @@ impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecError::Schedule(e) => write!(f, "invalid schedule: {e}"),
-            ExecError::Knem { rank, op, err, retries } => {
-                write!(f, "KNEM failure at rank {rank} op {op} after {retries} retries: {err}")
+            ExecError::Knem {
+                rank,
+                op,
+                err,
+                retries,
+            } => {
+                write!(
+                    f,
+                    "KNEM failure at rank {rank} op {op} after {retries} retries: {err}"
+                )
             }
-            ExecError::Timeout { rank, op, waited, deadline, seed } => {
+            ExecError::Timeout {
+                rank,
+                op,
+                waited,
+                deadline,
+                seed,
+            } => {
                 write!(
                     f,
                     "rank {rank} op {op} timed out after {waited:?} (deadline {deadline:?})"
@@ -101,7 +115,10 @@ pub struct ExecResult {
 impl ExecResult {
     /// Contents of `(rank, buf)` after execution (empty slice if absent).
     pub fn buffer(&self, rank: Rank, buf: BufId) -> &[u8] {
-        self.buffers.get(&(rank, buf)).map(Vec::as_slice).unwrap_or(&[])
+        self.buffers
+            .get(&(rank, buf))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Moves one buffer out of the result without copying (empty vector if
@@ -245,12 +262,25 @@ impl OpHistograms {
 /// The histogram kind index and distance class of one operation.
 fn op_kind_and_class(kind: &OpKind, distances: Option<&DistanceMatrix>) -> (usize, usize) {
     let (k, a, b) = match kind {
-        OpKind::Copy { src_rank, dst_rank, mech: Mech::Knem, .. } => (0, *src_rank, *dst_rank),
-        OpKind::Copy { src_rank, dst_rank, .. } => (1, *src_rank, *dst_rank),
+        OpKind::Copy {
+            src_rank,
+            dst_rank,
+            mech: Mech::Knem,
+            ..
+        } => (0, *src_rank, *dst_rank),
+        OpKind::Copy {
+            src_rank, dst_rank, ..
+        } => (1, *src_rank, *dst_rank),
         OpKind::Notify { from, to } => (2, *from, *to),
     };
     let class = distances
-        .map(|d| if a < d.num_ranks() && b < d.num_ranks() { d.get(a, b) as usize } else { 0 })
+        .map(|d| {
+            if a < d.num_ranks() && b < d.num_ranks() {
+                d.get(a, b) as usize
+            } else {
+                0
+            }
+        })
         .unwrap_or(0);
     (k, class)
 }
@@ -264,7 +294,10 @@ impl ThreadExecutor {
     /// Creates an executor driving an explicit KNEM device (used for fault
     /// injection and cross-run accounting).
     pub fn with_device(device: Arc<KnemDevice>) -> Self {
-        ThreadExecutor { device: Some(device), ..Default::default() }
+        ThreadExecutor {
+            device: Some(device),
+            ..Default::default()
+        }
     }
 
     /// Sets the retry/timeout policy.
@@ -303,7 +336,12 @@ impl ThreadExecutor {
             0,
             "exec",
             || format!("exec_run {} ({} ops)", schedule.name, schedule.ops.len()),
-            || vec![("ranks", schedule.num_ranks.into()), ("ops", schedule.ops.len().into())],
+            || {
+                vec![
+                    ("ranks", schedule.num_ranks.into()),
+                    ("ops", schedule.ops.len().into()),
+                ]
+            },
         );
         schedule.validate()?;
 
@@ -327,7 +365,9 @@ impl ThreadExecutor {
         }
 
         let sync = Arc::new(Sync_ {
-            done: (0..schedule.ops.len()).map(|_| AtomicBool::new(false)).collect(),
+            done: (0..schedule.ops.len())
+                .map(|_| AtomicBool::new(false))
+                .collect(),
             poisoned: AtomicBool::new(false),
             lock: Mutex::new(()),
             cvar: Condvar::new(),
@@ -376,7 +416,11 @@ impl ThreadExecutor {
                 let histograms = Arc::clone(&histograms);
                 let distances = self.distances.clone();
                 let policy = self.policy;
-                let stall = self.faults.as_ref().map(|p| p.stall_of(rank)).unwrap_or_default();
+                let stall = self
+                    .faults
+                    .as_ref()
+                    .map(|p| p.stall_of(rank))
+                    .unwrap_or_default();
                 let crash_after = self.faults.as_ref().and_then(|p| p.crash_of(rank));
                 let handle = scope.spawn(move |_| -> Result<(), ExecError> {
                     if !stall.is_zero() {
@@ -410,8 +454,7 @@ impl ThreadExecutor {
                                         rank,
                                         op: id,
                                         waited,
-                                        deadline: deadline
-                                            .expect("timeout implies a deadline"),
+                                        deadline: deadline.expect("timeout implies a deadline"),
                                         seed,
                                     });
                                 }
@@ -423,16 +466,43 @@ impl ThreadExecutor {
                             rank as u64,
                             if kind_idx == 2 { "notify" } else { "copy" },
                             || match kind {
-                                OpKind::Copy { src_rank, dst_rank, bytes, mech, .. } => {
+                                OpKind::Copy {
+                                    src_rank,
+                                    dst_rank,
+                                    bytes,
+                                    mech,
+                                    ..
+                                } => {
                                     format!("{mech:?} {src_rank}->{dst_rank} ({bytes}B)")
                                 }
                                 OpKind::Notify { from, to } => format!("notify {from}->{to}"),
                             },
                             || {
                                 let mut args = vec![("op", id.into()), ("dist", class.into())];
-                                if let OpKind::Copy { bytes, mech, .. } = kind {
-                                    args.push(("bytes", (*bytes).into()));
-                                    args.push(("mech", format!("{mech:?}").into()));
+                                // Endpoints + dependency links: enough for
+                                // pdac-analyze to rebuild the op DAG from
+                                // the trace alone, without the schedule.
+                                match kind {
+                                    OpKind::Copy {
+                                        src_rank,
+                                        dst_rank,
+                                        bytes,
+                                        mech,
+                                        ..
+                                    } => {
+                                        args.push(("src", (*src_rank).into()));
+                                        args.push(("dst", (*dst_rank).into()));
+                                        args.push(("bytes", (*bytes).into()));
+                                        args.push(("mech", format!("{mech:?}").into()));
+                                    }
+                                    OpKind::Notify { from, to } => {
+                                        args.push(("src", (*from).into()));
+                                        args.push(("dst", (*to).into()));
+                                    }
+                                }
+                                let deps = &schedule.ops[id].deps;
+                                if !deps.is_empty() {
+                                    args.push(("deps", pdac_simnet::trace::deps_arg(deps).into()));
                                 }
                                 args
                             },
@@ -525,7 +595,10 @@ impl ThreadExecutor {
         fault_stats.publish(registry);
 
         Ok(ExecResult {
-            buffers: buffers.into_iter().map(|(k, v)| (k, v.into_inner())).collect(),
+            buffers: buffers
+                .into_iter()
+                .map(|(k, v)| (k, v.into_inner()))
+                .collect(),
             knem_stats,
             fault_stats,
         })
@@ -605,7 +678,8 @@ fn execute_op(
         Mech::Knem => {
             let cookie = knem.register(src_rank, src_buf, src_off, bytes);
             let loc = knem.copy_from(cookie, 0, bytes)?;
-            knem.deregister(cookie).expect("cookie registered just above");
+            knem.deregister(cookie)
+                .expect("cookie registered just above");
             loc
         }
         Mech::Memcpy => (src_rank, src_buf, src_off),
@@ -638,11 +712,17 @@ fn execute_op(
         if src_key < dst_key {
             let src = buffers[&src_key].read();
             let mut dst = buffers[&dst_key].write();
-            apply(&mut dst[dst_off..dst_off + bytes], &src[src_off..src_off + bytes]);
+            apply(
+                &mut dst[dst_off..dst_off + bytes],
+                &src[src_off..src_off + bytes],
+            );
         } else {
             let mut dst = buffers[&dst_key].write();
             let src = buffers[&src_key].read();
-            apply(&mut dst[dst_off..dst_off + bytes], &src[src_off..src_off + bytes]);
+            apply(
+                &mut dst[dst_off..dst_off + bytes],
+                &src[src_off..src_off + bytes],
+            );
         }
     }
     Ok(())
@@ -656,13 +736,22 @@ mod tests {
 
     /// Distinctive per-rank fill pattern.
     fn pattern(rank: Rank, size: usize) -> Vec<u8> {
-        (0..size).map(|i| (rank as u8).wrapping_mul(37).wrapping_add(i as u8)).collect()
+        (0..size)
+            .map(|i| (rank as u8).wrapping_mul(37).wrapping_add(i as u8))
+            .collect()
     }
 
     #[test]
     fn single_copy_moves_bytes() {
         let mut b = ScheduleBuilder::new("t", 2);
-        b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 256, Mech::Memcpy, 1, vec![]);
+        b.copy(
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            256,
+            Mech::Memcpy,
+            1,
+            vec![],
+        );
         let res = ThreadExecutor::new().run(&b.finish(), pattern).unwrap();
         assert_eq!(res.buffer(1, BufId::Recv), &pattern(0, 256)[..]);
     }
@@ -670,7 +759,14 @@ mod tests {
     #[test]
     fn knem_copy_moves_bytes_and_counts() {
         let mut b = ScheduleBuilder::new("t", 2);
-        b.copy((0, BufId::Send, 10), (1, BufId::Recv, 5), 100, Mech::Knem, 1, vec![]);
+        b.copy(
+            (0, BufId::Send, 10),
+            (1, BufId::Recv, 5),
+            100,
+            Mech::Knem,
+            1,
+            vec![],
+        );
         let res = ThreadExecutor::new().run(&b.finish(), pattern).unwrap();
         assert_eq!(res.buffer(1, BufId::Recv)[5..105], pattern(0, 110)[10..110]);
         assert_eq!(res.knem_stats.copies, 1);
@@ -693,7 +789,10 @@ mod tests {
         );
         let res = ThreadExecutor::new().run(&b.finish(), pattern).unwrap();
         assert_eq!(res.buffer(1, BufId::Recv), &pattern(0, 1024)[..]);
-        assert_eq!(res.knem_stats.copies, 0, "eager path never enters the kernel");
+        assert_eq!(
+            res.knem_stats.copies, 0,
+            "eager path never enters the kernel"
+        );
         assert_eq!(res.buffer(0, BufId::Temp(0)), &pattern(0, 1024)[..]);
     }
 
@@ -719,9 +818,30 @@ mod tests {
     fn fan_out_and_deps() {
         // 0 -> 1 -> {2,3}: a two-level relay.
         let mut b = ScheduleBuilder::new("t", 4);
-        let a = b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 512, Mech::Knem, 1, vec![]);
-        b.copy((1, BufId::Recv, 0), (2, BufId::Recv, 0), 512, Mech::Knem, 2, vec![a]);
-        b.copy((1, BufId::Recv, 0), (3, BufId::Recv, 0), 512, Mech::Knem, 3, vec![a]);
+        let a = b.copy(
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            512,
+            Mech::Knem,
+            1,
+            vec![],
+        );
+        b.copy(
+            (1, BufId::Recv, 0),
+            (2, BufId::Recv, 0),
+            512,
+            Mech::Knem,
+            2,
+            vec![a],
+        );
+        b.copy(
+            (1, BufId::Recv, 0),
+            (3, BufId::Recv, 0),
+            512,
+            Mech::Knem,
+            3,
+            vec![a],
+        );
         let res = ThreadExecutor::new().run(&b.finish(), pattern).unwrap();
         for r in 1..4 {
             assert_eq!(res.buffer(r, BufId::Recv), &pattern(0, 512)[..], "rank {r}");
@@ -762,8 +882,14 @@ mod tests {
         let b_ = ThreadExecutor::new().run(&build(), pattern).unwrap();
         for r in 0..16 {
             assert_eq!(a.buffer(r, BufId::Recv), b_.buffer(r, BufId::Recv));
-            assert_eq!(&a.buffer(r, BufId::Recv)[..4096], &pattern((r + 15) % 16, 4096)[..]);
-            assert_eq!(&a.buffer(r, BufId::Recv)[4096..], &pattern((r + 15) % 16, 4096)[..]);
+            assert_eq!(
+                &a.buffer(r, BufId::Recv)[..4096],
+                &pattern((r + 15) % 16, 4096)[..]
+            );
+            assert_eq!(
+                &a.buffer(r, BufId::Recv)[4096..],
+                &pattern((r + 15) % 16, 4096)[..]
+            );
         }
     }
 
@@ -773,23 +899,58 @@ mod tests {
         // real data lands via the high-to-low direction, then fans back
         // low-to-high.
         let mut b = ScheduleBuilder::new("t", 1);
-        let a = b.copy((0, BufId::Send, 0), (0, BufId::Recv, 64), 64, Mech::Memcpy, 0, vec![]);
-        let c = b.copy((0, BufId::Recv, 64), (0, BufId::Recv, 0), 64, Mech::Memcpy, 0, vec![a]);
-        b.copy((0, BufId::Recv, 0), (0, BufId::Recv, 128), 64, Mech::Memcpy, 0, vec![c]);
+        let a = b.copy(
+            (0, BufId::Send, 0),
+            (0, BufId::Recv, 64),
+            64,
+            Mech::Memcpy,
+            0,
+            vec![],
+        );
+        let c = b.copy(
+            (0, BufId::Recv, 64),
+            (0, BufId::Recv, 0),
+            64,
+            Mech::Memcpy,
+            0,
+            vec![a],
+        );
+        b.copy(
+            (0, BufId::Recv, 0),
+            (0, BufId::Recv, 128),
+            64,
+            Mech::Memcpy,
+            0,
+            vec![c],
+        );
         let res = ThreadExecutor::new().run(&b.finish(), pattern).unwrap();
         for seg in [0, 64, 128] {
-            assert_eq!(res.buffer(0, BufId::Recv)[seg..seg + 64], pattern(0, 64)[..], "at {seg}");
+            assert_eq!(
+                res.buffer(0, BufId::Recv)[seg..seg + 64],
+                pattern(0, 64)[..],
+                "at {seg}"
+            );
         }
     }
 
     #[test]
     fn buffers_can_be_taken_by_ownership() {
         let mut b = ScheduleBuilder::new("t", 2);
-        b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 256, Mech::Memcpy, 1, vec![]);
+        b.copy(
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            256,
+            Mech::Memcpy,
+            1,
+            vec![],
+        );
         let mut res = ThreadExecutor::new().run(&b.finish(), pattern).unwrap();
         let owned = res.take_buffer(1, BufId::Recv);
         assert_eq!(owned, pattern(0, 256));
-        assert!(res.buffer(1, BufId::Recv).is_empty(), "taken buffer is gone");
+        assert!(
+            res.buffer(1, BufId::Recv).is_empty(),
+            "taken buffer is gone"
+        );
         let rest = res.into_buffers();
         assert!(rest.contains_key(&(0, BufId::Send)));
     }
@@ -797,10 +958,27 @@ mod tests {
     #[test]
     fn invalid_schedule_rejected_before_spawning() {
         let mut b = ScheduleBuilder::new("t", 3);
-        b.copy((0, BufId::Send, 0), (2, BufId::Recv, 0), 8, Mech::Memcpy, 2, vec![]);
-        b.copy((1, BufId::Send, 0), (2, BufId::Recv, 0), 8, Mech::Memcpy, 2, vec![]);
+        b.copy(
+            (0, BufId::Send, 0),
+            (2, BufId::Recv, 0),
+            8,
+            Mech::Memcpy,
+            2,
+            vec![],
+        );
+        b.copy(
+            (1, BufId::Send, 0),
+            (2, BufId::Recv, 0),
+            8,
+            Mech::Memcpy,
+            2,
+            vec![],
+        );
         let err = ThreadExecutor::new().run(&b.finish(), pattern).unwrap_err();
-        assert!(matches!(err, ExecError::Schedule(ScheduleError::UnorderedOverlappingWrites { .. })));
+        assert!(matches!(
+            err,
+            ExecError::Schedule(ScheduleError::UnorderedOverlappingWrites { .. })
+        ));
     }
 
     #[test]
@@ -810,9 +988,23 @@ mod tests {
         // the failing rank poisons the run, every other thread unwinds, and
         // the caller sees the KNEM error instead of a deadlock.
         let mut b = ScheduleBuilder::new("t", 8);
-        let mut prev = b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 256, Mech::Knem, 1, vec![]);
+        let mut prev = b.copy(
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            256,
+            Mech::Knem,
+            1,
+            vec![],
+        );
         for r in 2..8 {
-            prev = b.copy((r - 1, BufId::Recv, 0), (r, BufId::Recv, 0), 256, Mech::Knem, r, vec![prev]);
+            prev = b.copy(
+                (r - 1, BufId::Recv, 0),
+                (r, BufId::Recv, 0),
+                256,
+                Mech::Knem,
+                r,
+                vec![prev],
+            );
         }
         let device = std::sync::Arc::new(KnemDevice::with_faults(FaultPlan::permanent_after(2)));
         let err = ThreadExecutor::with_device(std::sync::Arc::clone(&device))
@@ -820,19 +1012,35 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            ExecError::Knem { err: crate::knem::KnemError::BadCookie(_), retries: 0, .. }
+            ExecError::Knem {
+                err: crate::knem::KnemError::BadCookie(_),
+                retries: 0,
+                ..
+            }
         ));
-        assert_eq!(device.stats().copies, 2, "exactly the budgeted copies succeeded");
+        assert_eq!(
+            device.stats().copies,
+            2,
+            "exactly the budgeted copies succeeded"
+        );
     }
 
     #[test]
     fn injected_fault_budget_zero_fails_first_copy() {
         use crate::knem::FaultPlan;
         let mut b = ScheduleBuilder::new("t", 2);
-        b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 64, Mech::Knem, 1, vec![]);
+        b.copy(
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            64,
+            Mech::Knem,
+            1,
+            vec![],
+        );
         let device = std::sync::Arc::new(KnemDevice::with_faults(FaultPlan::permanent_after(0)));
-        let err =
-            ThreadExecutor::with_device(device).run(&b.finish(), pattern).unwrap_err();
+        let err = ThreadExecutor::with_device(device)
+            .run(&b.finish(), pattern)
+            .unwrap_err();
         assert!(matches!(err, ExecError::Knem { .. }));
     }
 
@@ -841,7 +1049,14 @@ mod tests {
         use crate::fault::RetryPolicy;
         use crate::knem::FaultPlan;
         let mut b = ScheduleBuilder::new("t", 2);
-        b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 256, Mech::Knem, 1, vec![]);
+        b.copy(
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            256,
+            Mech::Knem,
+            1,
+            vec![],
+        );
         // First two attempts fail, then the device heals: with 3 retries
         // the copy succeeds and the payload arrives intact.
         let device = std::sync::Arc::new(KnemDevice::with_faults(FaultPlan::transient(0, 2)));
@@ -858,8 +1073,22 @@ mod tests {
     fn crashed_rank_surfaces_as_timeout_not_hang() {
         use crate::fault::{ExecFaultPlan, RetryPolicy};
         let mut b = ScheduleBuilder::new("t", 3);
-        let a = b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 64, Mech::Memcpy, 1, vec![]);
-        b.copy((1, BufId::Recv, 0), (2, BufId::Recv, 0), 64, Mech::Memcpy, 2, vec![a]);
+        let a = b.copy(
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            64,
+            Mech::Memcpy,
+            1,
+            vec![],
+        );
+        b.copy(
+            (1, BufId::Recv, 0),
+            (2, BufId::Recv, 0),
+            64,
+            Mech::Memcpy,
+            2,
+            vec![a],
+        );
         let policy = RetryPolicy {
             op_deadline: Some(std::time::Duration::from_millis(50)),
             ..RetryPolicy::chaos()
@@ -882,9 +1111,23 @@ mod tests {
     fn crash_plan_without_deadline_gets_forced_deadline() {
         use crate::fault::ExecFaultPlan;
         let mut b = ScheduleBuilder::new("t", 2);
-        let a = b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 64, Mech::Memcpy, 1, vec![]);
+        let a = b.copy(
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            64,
+            Mech::Memcpy,
+            1,
+            vec![],
+        );
         let n = b.notify(1, 0, vec![a]);
-        b.copy((0, BufId::Send, 0), (0, BufId::Recv, 0), 64, Mech::Memcpy, 0, vec![n]);
+        b.copy(
+            (0, BufId::Send, 0),
+            (0, BufId::Recv, 0),
+            64,
+            Mech::Memcpy,
+            0,
+            vec![n],
+        );
         // Default policy has no deadline; the lethal plan must still
         // terminate (forced deadline) instead of hanging forever.
         let err = ThreadExecutor::new()
@@ -898,9 +1141,23 @@ mod tests {
     fn dropped_notify_times_out_dependents() {
         use crate::fault::{ExecFaultPlan, RetryPolicy};
         let mut b = ScheduleBuilder::new("t", 2);
-        let a = b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 64, Mech::Memcpy, 1, vec![]);
+        let a = b.copy(
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            64,
+            Mech::Memcpy,
+            1,
+            vec![],
+        );
         let n = b.notify(1, 0, vec![a]);
-        b.copy((0, BufId::Send, 0), (0, BufId::Recv, 0), 64, Mech::Memcpy, 0, vec![n]);
+        b.copy(
+            (0, BufId::Send, 0),
+            (0, BufId::Recv, 0),
+            64,
+            Mech::Memcpy,
+            0,
+            vec![n],
+        );
         let policy = RetryPolicy {
             op_deadline: Some(std::time::Duration::from_millis(50)),
             ..RetryPolicy::chaos()
@@ -920,11 +1177,16 @@ mod tests {
     fn stalled_rank_still_completes_correctly() {
         use crate::fault::ExecFaultPlan;
         let mut b = ScheduleBuilder::new("t", 2);
-        b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 256, Mech::Memcpy, 1, vec![]);
+        b.copy(
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            256,
+            Mech::Memcpy,
+            1,
+            vec![],
+        );
         let res = ThreadExecutor::new()
-            .with_faults(
-                ExecFaultPlan::new(5).stall_rank(1, std::time::Duration::from_millis(5)),
-            )
+            .with_faults(ExecFaultPlan::new(5).stall_rank(1, std::time::Duration::from_millis(5)))
             .run(&b.finish(), pattern)
             .unwrap();
         assert_eq!(res.buffer(1, BufId::Recv), &pattern(0, 256)[..]);
@@ -936,13 +1198,24 @@ mod tests {
         let device = std::sync::Arc::new(KnemDevice::new());
         for _ in 0..3 {
             let mut b = ScheduleBuilder::new("t", 2);
-            b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 64, Mech::Knem, 1, vec![]);
+            b.copy(
+                (0, BufId::Send, 0),
+                (1, BufId::Recv, 0),
+                64,
+                Mech::Knem,
+                1,
+                vec![],
+            );
             ThreadExecutor::with_device(std::sync::Arc::clone(&device))
                 .run(&b.finish(), pattern)
                 .unwrap();
         }
         assert_eq!(device.stats().copies, 3);
-        assert_eq!(device.live_regions(), 0, "every run deregistered its cookies");
+        assert_eq!(
+            device.live_regions(),
+            0,
+            "every run deregistered its cookies"
+        );
     }
 
     #[test]
@@ -950,8 +1223,22 @@ mod tests {
         // Corrupt a validated schedule after the fact: shrink the source
         // buffer so the KNEM pull overruns its region.
         let mut b = ScheduleBuilder::new("t", 3);
-        let a = b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 64, Mech::Knem, 1, vec![]);
-        b.copy((1, BufId::Recv, 0), (2, BufId::Recv, 0), 64, Mech::Knem, 2, vec![a]);
+        let a = b.copy(
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            64,
+            Mech::Knem,
+            1,
+            vec![],
+        );
+        b.copy(
+            (1, BufId::Recv, 0),
+            (2, BufId::Recv, 0),
+            64,
+            Mech::Knem,
+            2,
+            vec![a],
+        );
         let s = b.finish();
         // Run through a device-level failure by injecting an op that
         // references a region with a bad range via direct device use.

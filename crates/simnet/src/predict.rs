@@ -1,0 +1,200 @@
+//! Per-operation predicted-time export.
+//!
+//! The simulator's [`SimReport`] already knows when every
+//! operation started and finished in model time; this module flattens that
+//! into a serializable per-op table — the *prediction leg* that
+//! `pdac-analyze` joins against the thread executor's measured spans to
+//! quantify model drift per distance class.
+
+use pdac_hwtopo::DistanceMatrix;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::SimReport;
+use crate::schedule::{Mech, OpKind, Schedule};
+
+/// One operation's predicted timing, flattened for export.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictedOp {
+    /// Dense schedule-wide operation id.
+    pub op: usize,
+    /// Mechanism label: `knem`, `memcpy` or `notify`.
+    pub mech: String,
+    /// Source rank (sender for notifies).
+    pub src: usize,
+    /// Destination rank (receiver for notifies).
+    pub dst: usize,
+    /// Rank whose core executes the operation.
+    pub exec: usize,
+    /// Payload bytes (0 for notifies).
+    pub bytes: usize,
+    /// Process-distance class of the endpoint pair (0 when no matrix was
+    /// supplied).
+    pub dist: u8,
+    /// Predicted start time, seconds into the run.
+    pub start_s: f64,
+    /// Predicted finish time, seconds into the run.
+    pub finish_s: f64,
+    /// Ids of operations this one waited on.
+    pub deps: Vec<usize>,
+}
+
+impl PredictedOp {
+    /// Predicted duration in seconds.
+    pub fn dur_s(&self) -> f64 {
+        (self.finish_s - self.start_s).max(0.0)
+    }
+}
+
+/// The endpoint pair and mechanism label of one op.
+fn op_endpoints(kind: &OpKind) -> (&'static str, usize, usize, usize, usize) {
+    match *kind {
+        OpKind::Copy {
+            src_rank,
+            dst_rank,
+            bytes,
+            mech,
+            exec,
+            ..
+        } => (
+            match mech {
+                Mech::Knem => "knem",
+                Mech::Memcpy => "memcpy",
+            },
+            src_rank,
+            dst_rank,
+            exec,
+            bytes,
+        ),
+        OpKind::Notify { from, to } => ("notify", from, to, from, 0),
+    }
+}
+
+/// The distance class of the pair `(a, b)` under `distances` (0 without a
+/// matrix or for out-of-range ranks).
+pub(crate) fn dist_class(distances: Option<&DistanceMatrix>, a: usize, b: usize) -> u8 {
+    distances
+        .map(|d| {
+            if a < d.num_ranks() && b < d.num_ranks() {
+                d.get(a, b)
+            } else {
+                0
+            }
+        })
+        .unwrap_or(0)
+}
+
+/// Flattens one simulated run into a per-op predicted-time table.
+///
+/// `distances` labels each op with the distance class of its endpoint pair,
+/// matching the `d0..d8` classes of the executor's latency histograms; pass
+/// `None` to leave every class 0.
+pub fn predicted_ops(
+    schedule: &Schedule,
+    report: &SimReport,
+    distances: Option<&DistanceMatrix>,
+) -> Vec<PredictedOp> {
+    schedule
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(id, op)| {
+            let (mech, src, dst, exec, bytes) = op_endpoints(&op.kind);
+            PredictedOp {
+                op: id,
+                mech: mech.to_string(),
+                src,
+                dst,
+                exec,
+                bytes,
+                dist: dist_class(distances, src, dst),
+                start_s: report.op_start[id],
+                finish_s: report.op_finish[id],
+                deps: op.deps.clone(),
+            }
+        })
+        .collect()
+}
+
+/// Serializes a predicted-op table as pretty-printed JSON (the
+/// `predicted_sim.json` artifact of `pdac-trace run`).
+pub fn predicted_ops_json(ops: &[PredictedOp]) -> String {
+    serde_json::to_string_pretty(ops).expect("predicted ops serialize")
+}
+
+/// Parses a table previously written by [`predicted_ops_json`].
+pub fn predicted_ops_from_json(s: &str) -> Result<Vec<PredictedOp>, serde_json::Error> {
+    serde_json::from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SimConfig, SimExecutor};
+    use crate::schedule::{BufId, Mech, ScheduleBuilder};
+    use pdac_hwtopo::{machines, Binding, DistanceMatrix};
+
+    #[test]
+    fn predicted_ops_cover_every_op_with_timing_and_distance() {
+        let ig = machines::ig();
+        let binding = Binding::identity(&ig);
+        let distances = DistanceMatrix::for_binding(&ig, &binding);
+        let mut b = ScheduleBuilder::new("t", 4);
+        let a = b.copy(
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            4096,
+            Mech::Knem,
+            1,
+            vec![],
+        );
+        let n = b.notify(1, 2, vec![a]);
+        b.copy(
+            (1, BufId::Recv, 0),
+            (2, BufId::Recv, 0),
+            4096,
+            Mech::Memcpy,
+            2,
+            vec![n],
+        );
+        let s = b.finish();
+        let rep = SimExecutor::new(&ig, &binding, SimConfig::default())
+            .run(&s)
+            .unwrap();
+
+        let ops = predicted_ops(&s, &rep, Some(&distances));
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0].mech, "knem");
+        assert_eq!(ops[1].mech, "notify");
+        assert_eq!(ops[1].deps, vec![0]);
+        assert_eq!(ops[2].deps, vec![1]);
+        assert!(ops.iter().all(|o| o.finish_s >= o.start_s));
+        assert_eq!(ops[0].dist, distances.get(0, 1));
+        // The chain is causally ordered in predicted time.
+        assert!(ops[2].start_s >= ops[0].finish_s);
+
+        let json = predicted_ops_json(&ops);
+        let back = predicted_ops_from_json(&json).expect("round trip");
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn missing_matrix_defaults_every_class_to_zero() {
+        let ig = machines::ig();
+        let binding = Binding::identity(&ig);
+        let mut b = ScheduleBuilder::new("t", 2);
+        b.copy(
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            64,
+            Mech::Memcpy,
+            1,
+            vec![],
+        );
+        let s = b.finish();
+        let rep = SimExecutor::new(&ig, &binding, SimConfig::default())
+            .run(&s)
+            .unwrap();
+        let ops = predicted_ops(&s, &rep, None);
+        assert!(ops.iter().all(|o| o.dist == 0));
+    }
+}

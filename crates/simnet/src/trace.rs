@@ -13,10 +13,26 @@
 //! side-by-side in one Perfetto window without colliding.
 
 use crate::engine::SimReport;
+use crate::predict::dist_class;
 use crate::schedule::{OpKind, Schedule};
 
+use pdac_hwtopo::DistanceMatrix;
 use pdac_telemetry::export::{chrome_trace, TraceMeta};
 use pdac_telemetry::{Event, EventKind};
+
+/// Renders a dependency list as the compact `deps` span argument
+/// (`"0,3,7"`), the linking metadata `pdac-analyze` uses to rebuild the
+/// op DAG from a trace alone.
+pub fn deps_arg(deps: &[usize]) -> String {
+    let mut out = String::new();
+    for (i, d) in deps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&d.to_string());
+    }
+    out
+}
 
 /// Escapes a JSON string value. Delegates to the workspace's single
 /// escaper, which also handles control characters.
@@ -26,28 +42,64 @@ pub fn esc(s: &str) -> String {
 
 /// Converts one simulated run into exporter events: one `X` event per
 /// operation, on the executor's rank row (sender's row for notifies), with
-/// op kind, peers and byte count in the args.
+/// op kind, peers, byte count and dependency links in the args.
 pub fn sim_events(schedule: &Schedule, report: &SimReport) -> Vec<Event> {
+    sim_events_with_distances(schedule, report, None)
+}
+
+/// [`sim_events`] with endpoint distance classes: each op gains a `dist`
+/// argument labelling its pair with the paper's `d0..d8` classes, matching
+/// the real executor's span labels so the two legs join class-by-class.
+pub fn sim_events_with_distances(
+    schedule: &Schedule,
+    report: &SimReport,
+    distances: Option<&DistanceMatrix>,
+) -> Vec<Event> {
     let mut events = Vec::with_capacity(schedule.ops.len());
     for (id, op) in schedule.ops.iter().enumerate() {
-        let (name, cat, tid, args) = match &op.kind {
-            OpKind::Copy { src_rank, dst_rank, bytes, mech, exec, .. } => (
+        let (name, cat, tid, mut args) = match &op.kind {
+            OpKind::Copy {
+                src_rank,
+                dst_rank,
+                bytes,
+                mech,
+                exec,
+                ..
+            } => (
                 format!("{mech:?} {src_rank}->{dst_rank} ({bytes}B)"),
                 "copy",
                 *exec,
                 vec![
                     ("op", id.into()),
+                    ("src", (*src_rank).into()),
+                    ("dst", (*dst_rank).into()),
                     ("bytes", (*bytes).into()),
                     ("mech", format!("{mech:?}").into()),
+                    (
+                        "dist",
+                        usize::from(dist_class(distances, *src_rank, *dst_rank)).into(),
+                    ),
                 ],
             ),
             OpKind::Notify { from, to } => (
                 format!("notify {from}->{to}"),
                 "notify",
                 *from,
-                vec![("op", id.into()), ("to", (*to).into())],
+                vec![
+                    ("op", id.into()),
+                    ("src", (*from).into()),
+                    ("dst", (*to).into()),
+                    ("to", (*to).into()),
+                    (
+                        "dist",
+                        usize::from(dist_class(distances, *from, *to)).into(),
+                    ),
+                ],
             ),
         };
+        if !op.deps.is_empty() {
+            args.push(("deps", deps_arg(&op.deps).into()));
+        }
         let ts_us = report.op_start[id] * 1e6;
         let dur_us = (report.op_finish[id] - report.op_start[id]).max(0.0) * 1e6;
         events.push(Event {
@@ -87,21 +139,40 @@ mod tests {
         let ig = machines::ig();
         let binding = Binding::identity(&ig);
         let mut b = ScheduleBuilder::new("t", 4);
-        let a = b.copy((0, BufId::Send, 0), (1, BufId::Recv, 0), 4096, Mech::Knem, 1, vec![]);
+        let a = b.copy(
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            4096,
+            Mech::Knem,
+            1,
+            vec![],
+        );
         let n = b.notify(1, 2, vec![a]);
-        b.copy((1, BufId::Recv, 0), (2, BufId::Recv, 0), 4096, Mech::Memcpy, 2, vec![n]);
+        b.copy(
+            (1, BufId::Recv, 0),
+            (2, BufId::Recv, 0),
+            4096,
+            Mech::Memcpy,
+            2,
+            vec![n],
+        );
         let s = b.finish();
-        let rep = SimExecutor::new(&ig, &binding, SimConfig::default()).run(&s).unwrap();
+        let rep = SimExecutor::new(&ig, &binding, SimConfig::default())
+            .run(&s)
+            .unwrap();
         let trace = to_chrome_trace(&s, &rep);
 
         let parsed: serde_json::Value = serde_json::from_str(&trace).expect("valid JSON");
         let events = parsed["traceEvents"].as_array().unwrap();
-        assert_eq!(events.len(), 1 + 4 + 3, "process name + 4 rank names + 3 ops");
+        assert_eq!(
+            events.len(),
+            1 + 4 + 3,
+            "process name + 4 rank names + 3 ops"
+        );
         assert_eq!(events[0]["args"]["name"], "sim", "sim runs are labelled");
         assert_eq!(events[0]["pid"].as_u64(), Some(1));
         // Durations are non-negative and ordered along the dependency chain.
-        let xs: Vec<&serde_json::Value> =
-            events.iter().filter(|e| e["ph"] == "X").collect();
+        let xs: Vec<&serde_json::Value> = events.iter().filter(|e| e["ph"] == "X").collect();
         assert_eq!(xs.len(), 3);
         assert!(xs.iter().all(|e| e["dur"].as_f64().unwrap() >= 0.0));
         assert_eq!(xs[0]["args"]["bytes"].as_u64(), Some(4096));

@@ -86,4 +86,35 @@ impl Event {
     pub fn end_us(&self) -> f64 {
         self.ts_us + self.dur_us
     }
+
+    /// The argument named `key`, if attached.
+    pub fn arg(&self, key: &str) -> Option<&ArgValue> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// The argument named `key` as an unsigned integer.
+    pub fn arg_u64(&self, key: &str) -> Option<u64> {
+        match self.arg(key)? {
+            ArgValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The argument named `key` as a float (integers widen losslessly up
+    /// to 2^53).
+    pub fn arg_f64(&self, key: &str) -> Option<f64> {
+        match self.arg(key)? {
+            ArgValue::F64(v) => Some(*v),
+            ArgValue::U64(v) => Some(*v as f64),
+            ArgValue::Str(_) => None,
+        }
+    }
+
+    /// The argument named `key` as a string.
+    pub fn arg_str(&self, key: &str) -> Option<&str> {
+        match self.arg(key)? {
+            ArgValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
 }

@@ -14,6 +14,36 @@ use crate::snapshot::{BucketCount, HistogramSnapshot};
 /// Number of buckets: zeros plus one per power of two.
 pub const NUM_BUCKETS: usize = 65;
 
+/// Estimates the `q`-quantile (`0.0..=1.0`) of a log-bucketed distribution
+/// given its non-empty buckets in ascending order and the total count.
+///
+/// The value is interpolated linearly inside the bucket holding the target
+/// rank (assuming a uniform spread within it), so the estimate inherits the
+/// buckets' worst-case 2× relative error. Returns 0.0 for an empty
+/// distribution.
+pub fn estimate_percentile<'a>(
+    total: u64,
+    buckets: impl IntoIterator<Item = &'a BucketCount>,
+    q: f64,
+) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    // 1-based rank of the value we are looking for.
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    let mut last_hi = 0.0f64;
+    for b in buckets {
+        if seen + b.count >= rank {
+            let into = (rank - seen) as f64 / b.count as f64;
+            return b.lo as f64 + (b.hi - b.lo) as f64 * into;
+        }
+        seen += b.count;
+        last_hi = b.hi as f64;
+    }
+    last_hi
+}
+
 /// The bucket index `value` falls into.
 #[inline]
 pub fn bucket_index(value: u64) -> usize {
@@ -91,6 +121,27 @@ impl LogHistogram {
         }
     }
 
+    /// Estimated `q`-quantile of the recorded values (see
+    /// [`estimate_percentile`] for the interpolation contract).
+    pub fn percentile(&self, q: f64) -> f64 {
+        self.snapshot().percentile(q)
+    }
+
+    /// Estimated median.
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// Estimated 90th percentile.
+    pub fn p90(&self) -> f64 {
+        self.percentile(0.90)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+
     /// Zeroes every bucket and the totals.
     pub fn reset(&self) {
         for b in &self.buckets {
@@ -114,7 +165,11 @@ impl LogHistogram {
                 })
             })
             .collect();
-        HistogramSnapshot { count: self.count(), sum: self.sum(), buckets }
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
     }
 }
 
@@ -147,10 +202,50 @@ mod tests {
 
     #[test]
     fn every_value_falls_inside_its_bucket_bounds() {
-        for v in [0u64, 1, 2, 3, 7, 8, 1000, 4095, 4096, u64::MAX / 2, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            2,
+            3,
+            7,
+            8,
+            1000,
+            4095,
+            4096,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
             let (lo, hi) = bucket_bounds(bucket_index(v));
             assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
         }
+    }
+
+    #[test]
+    fn percentiles_are_estimated_within_bucket_bounds() {
+        let h = LogHistogram::new();
+        assert_eq!(h.percentile(0.5), 0.0, "empty histogram");
+        // 100 values of 10, 10 of ~1000: p50 sits in the [8,15] bucket,
+        // p99 in the [512,1023] bucket.
+        for _ in 0..100 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let p50 = h.p50();
+        assert!(
+            (8.0..=15.0).contains(&p50),
+            "p50 {p50} inside the value's bucket"
+        );
+        let p99 = h.p99();
+        assert!(
+            (512.0..=1023.0).contains(&p99),
+            "p99 {p99} inside the tail bucket"
+        );
+        assert!(h.p90() <= p99, "percentiles are monotone");
+        // q clamps: 0 -> low end, 1 -> top of the highest bucket.
+        assert!(h.percentile(0.0) <= p50);
+        assert!(h.percentile(1.0) >= p99);
     }
 
     #[test]
@@ -166,7 +261,14 @@ mod tests {
         assert_eq!(snap.count, 5);
         // Buckets: {0}, {1}, [4,7] twice, [1024,2047].
         assert_eq!(snap.buckets.len(), 4);
-        assert_eq!(snap.buckets[2], BucketCount { lo: 4, hi: 7, count: 2 });
+        assert_eq!(
+            snap.buckets[2],
+            BucketCount {
+                lo: 4,
+                hi: 7,
+                count: 2
+            }
+        );
         h.reset();
         assert_eq!(h.count(), 0);
         assert!(h.snapshot().buckets.is_empty());

@@ -38,7 +38,7 @@ pub mod snapshot;
 
 pub use event::{ArgValue, Event, EventKind};
 pub use export::{chrome_trace, esc, TraceMeta};
-pub use histogram::{bucket_bounds, bucket_index, LogHistogram};
+pub use histogram::{bucket_bounds, bucket_index, estimate_percentile, LogHistogram};
 pub use recorder::{Recorder, Span};
 pub use registry::{Counter, Registry};
 pub use snapshot::{HistogramSnapshot, RegistrySnapshot, SnapshotDiff};
@@ -55,7 +55,10 @@ pub struct Telemetry {
 impl Telemetry {
     /// A fresh instance with the default recorder capacity.
     pub fn new() -> Self {
-        Telemetry { recorder: Recorder::new(recorder::DEFAULT_CAPACITY), registry: Registry::new() }
+        Telemetry {
+            recorder: Recorder::new(recorder::DEFAULT_CAPACITY),
+            registry: Registry::new(),
+        }
     }
 
     /// The event recorder.

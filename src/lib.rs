@@ -9,7 +9,9 @@
 //! * [`collectives`] — distance-aware topologies, baselines, schedules;
 //! * [`mpi`] — the typed MPI-style session API on top of everything;
 //! * [`telemetry`] — event recorder, metrics registry, trace export
-//!   (recording compiles in with the `telemetry` feature).
+//!   (recording compiles in with the `telemetry` feature);
+//! * [`analyze`] — performance introspection over telemetry artifacts:
+//!   critical-path extraction and sim-vs-real divergence reports.
 //!
 //! The whole pipeline in a dozen lines — machine, hostile placement,
 //! distance-aware broadcast, simulated timing, byte-exact verification:
@@ -35,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub use pdac_analyze as analyze;
 pub use pdac_core as collectives;
 pub use pdac_hwtopo as hwtopo;
 pub use pdac_mpi as mpi;

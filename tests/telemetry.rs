@@ -18,7 +18,9 @@ use pdac::telemetry::TraceMeta;
 
 fn bcast_world(ranks: usize, bytes: usize) -> (Communicator, pdac::simnet::Schedule) {
     let machine = Arc::new(machines::ig());
-    let binding = BindingPolicy::Contiguous.bind(&machine, ranks).expect("binding fits");
+    let binding = BindingPolicy::Contiguous
+        .bind(&machine, ranks)
+        .expect("binding fits");
     let comm = Communicator::world(Arc::clone(&machine), binding);
     let schedule = AdaptiveColl::default().bcast(&comm, 0, bytes);
     (comm, schedule)
@@ -37,8 +39,14 @@ fn sim_trace_round_trips_with_one_x_event_per_op() {
 
     let xs: Vec<_> = rows.iter().filter(|r| r["ph"] == "X").collect();
     assert_eq!(xs.len(), schedule.ops.len(), "one X event per executed op");
-    assert!(xs.iter().all(|e| e["pid"].as_u64() == Some(1)), "sim rows live under pid 1");
-    let process = rows.iter().find(|r| r["name"] == "process_name").expect("process_name row");
+    assert!(
+        xs.iter().all(|e| e["pid"].as_u64() == Some(1)),
+        "sim rows live under pid 1"
+    );
+    let process = rows
+        .iter()
+        .find(|r| r["name"] == "process_name")
+        .expect("process_name row");
     assert_eq!(process["args"]["name"], "sim");
     let threads: Vec<_> = rows.iter().filter(|r| r["name"] == "thread_name").collect();
     assert_eq!(threads.len(), schedule.num_ranks, "every rank row is named");
@@ -56,8 +64,7 @@ fn real_trace_round_trips_with_one_x_event_per_op() {
     use pdac::mpisim::ThreadExecutor;
 
     let (comm, schedule) = bcast_world(8, 1 << 16);
-    let distances =
-        Arc::new(DistanceMatrix::for_binding(comm.machine(), comm.binding()));
+    let distances = Arc::new(DistanceMatrix::for_binding(comm.machine(), comm.binding()));
 
     let telemetry = pdac::telemetry::global();
     telemetry.reset();
@@ -67,10 +74,8 @@ fn real_trace_round_trips_with_one_x_event_per_op() {
         .expect("collective executes");
     let events = telemetry.recorder().drain();
 
-    let trace = pdac::telemetry::chrome_trace(
-        &events,
-        &TraceMeta::real().with_ranks(schedule.num_ranks),
-    );
+    let trace =
+        pdac::telemetry::chrome_trace(&events, &TraceMeta::real().with_ranks(schedule.num_ranks));
     let parsed: serde_json::Value = serde_json::from_str(&trace).expect("trace is valid JSON");
     let rows = parsed["traceEvents"].as_array().expect("traceEvents array");
 
@@ -79,13 +84,23 @@ fn real_trace_round_trips_with_one_x_event_per_op() {
         .iter()
         .filter(|r| r["ph"] == "X" && (r["cat"] == "copy" || r["cat"] == "notify"))
         .collect();
-    assert_eq!(op_xs.len(), schedule.ops.len(), "one X event per executed op");
-    assert!(op_xs.iter().all(|e| e["pid"].as_u64() == Some(2)), "real rows live under pid 2");
+    assert_eq!(
+        op_xs.len(),
+        schedule.ops.len(),
+        "one X event per executed op"
+    );
+    assert!(
+        op_xs.iter().all(|e| e["pid"].as_u64() == Some(2)),
+        "real rows live under pid 2"
+    );
     assert!(
         op_xs.iter().all(|e| e["args"]["dist"].as_u64().is_some()),
         "every op is labelled with its distance class"
     );
-    let process = rows.iter().find(|r| r["name"] == "process_name").expect("process_name row");
+    let process = rows
+        .iter()
+        .find(|r| r["name"] == "process_name")
+        .expect("process_name row");
     assert_eq!(process["args"]["name"], "real");
 
     // The registry saw the same run: one copy histogram value per copy op.
@@ -93,7 +108,9 @@ fn real_trace_round_trips_with_one_x_event_per_op() {
     let copies: u64 = snap
         .histograms
         .iter()
-        .filter(|(name, _)| name.starts_with("exec.op_ns.knem") || name.starts_with("exec.op_ns.memcpy"))
+        .filter(|(name, _)| {
+            name.starts_with("exec.op_ns.knem") || name.starts_with("exec.op_ns.memcpy")
+        })
         .map(|(_, h)| h.count)
         .sum();
     let copy_ops = schedule
@@ -118,7 +135,7 @@ fn snapshot_diff_round_trips_through_json() {
     assert_eq!(diff.counters.len(), 1);
     assert_eq!((diff.counters[0].base, diff.counters[0].new), (7, 10));
     assert_eq!(diff.histograms.len(), 1);
-    assert_eq!(diff.histograms[0].new_count, 2);
+    assert_eq!(diff.histograms[0].new_count(), 2);
     let rendered = diff.render();
     assert!(rendered.contains("knem.copies"), "{rendered}");
     assert!(rendered.contains("exec.op_ns.knem.d5"), "{rendered}");
@@ -126,7 +143,11 @@ fn snapshot_diff_round_trips_through_json() {
 
 #[test]
 fn fault_summary_includes_retries_and_backoff() {
-    let stats = FaultStats { retries: 4, backoff_ns: 2_500_000, ..FaultStats::default() };
+    let stats = FaultStats {
+        retries: 4,
+        backoff_ns: 2_500_000,
+        ..FaultStats::default()
+    };
     let line = fault_summary_line(&stats);
     assert!(line.contains("4 retries"), "{line}");
     assert!(line.contains("2.500 ms backoff"), "{line}");
