@@ -1,30 +1,45 @@
 //! Deterministic chaos-test harness: collectives under seeded faults.
 //!
 //! [`run_chaos`] executes one collective on the real-thread oracle with a
-//! seed-derived fault cocktail — a crashed non-root rank, a stalled rank
-//! (both from [`ExecFaultPlan::seeded`]) and a transient KNEM device fault
-//! — wrapped in a watchdog. The contract it enforces is the tentpole
-//! guarantee of the fault subsystem:
+//! seed-derived fault cocktail — crashed ranks (optionally a cascading
+//! multi-rank, mid-collective batch plus a flapping rank), a stalled rank,
+//! and a transient KNEM device fault — wrapped in a watchdog. Since the
+//! membership layer landed, the harness has **no god's-eye view**: it never
+//! consults the fault plan to decide who died. Failures surface only
+//! through the observation pipeline:
 //!
-//! * faults that can heal (transient KNEM failures, stalls, dropped
-//!   notifications) heal through bounded retry, and the payload verifies;
-//! * a crashed rank is detected by timeout, the communicator shrinks to
-//!   the survivors ([`RecoveryManager`]), the topology is rebuilt under
-//!   the new epoch, and the collective completes correctly on the
-//!   survivors;
-//! * anything else returns a typed [`CollectiveError`] quoting the seed —
-//!   **never** a hang (the watchdog converts one into
-//!   [`CollectiveError::Hang`]).
+//! 1. **detect** — the [`FailureDetector`] attached to every executor
+//!    attempt turns op completions into heartbeats, overlong waits into
+//!    suspicions, and the join audit into confirmed deaths;
+//! 2. **agree** — detector-confirmed deaths are fed to
+//!    [`RecoveryManager::propose_failure`], and
+//!    [`RecoveryManager::await_agreement`] runs the coordinator-based
+//!    two-phase vote until every live rank holds the same
+//!    `(epoch, survivor_set)`;
+//! 3. **fence** — the shared KNEM device is fenced at the new epoch, so a
+//!    straggler still executing under the dead epoch is rejected with a
+//!    typed stale-epoch error instead of delivering into the rebuilt
+//!    topology;
+//! 4. **rebuild or degrade** — the distance-aware topology is rebuilt over
+//!    the survivors; when agreement fails (no survivors, coordinator churn)
+//!    or recovery churns past [`ChaosConfig::max_recoveries`], the harness
+//!    falls back to the distance-oblivious `core/baseline` algorithms and
+//!    records `degraded` in the [`ChaosOutcome`] rather than erroring.
 //!
-//! Everything is a pure function of the `u64` seed: same seed, same fault
-//! plan, same outcome.
+//! Anything else returns a typed [`CollectiveError`] quoting the seed —
+//! **never** a hang (the watchdog converts one into
+//! [`CollectiveError::Hang`]). Everything is a pure function of the `u64`
+//! seed: same seed, same fault plan, same outcome.
 
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
 use pdac_mpisim::knem::FaultPlan as KnemFaultPlan;
-use pdac_mpisim::{Communicator, ExecError, ExecFaultPlan, KnemDevice, RetryPolicy, ThreadExecutor};
+use pdac_mpisim::{
+    Communicator, ExecError, ExecFaultPlan, FailureDetector, KnemDevice, RetryPolicy,
+    ThreadExecutor,
+};
 use pdac_simnet::{
     BufId, FaultPlan as SimFaultPlan, FaultStats, Resource, Schedule, SimConfig, SimExecutor,
     SimReport,
@@ -33,8 +48,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::adaptive::AdaptiveColl;
+use crate::baseline;
+use crate::edges::Edge;
+use crate::membership::MembershipConfig;
 use crate::recovery::{CollectiveError, RecoveryManager};
+use crate::sched::{allreduce_schedule, SchedConfig};
 use crate::topocache::TopoCache;
+use crate::tree::Tree;
 use crate::verify::{pattern, reduced_pattern};
 
 /// Which collective the harness exercises.
@@ -59,9 +79,9 @@ pub enum ChaosCollective {
     },
 }
 
-/// Harness configuration. The watchdog bounds the *whole* attempt
-/// (execution + recovery + re-execution); the retry policy governs
-/// per-operation behavior inside the executor.
+/// Harness configuration. The watchdog bounds each attempt (execution +
+/// recovery + re-execution); the retry policy governs per-operation
+/// behavior inside the executor.
 #[derive(Debug, Clone, Copy)]
 pub struct ChaosConfig {
     /// Seed deriving every injected fault; quoted in all failures.
@@ -70,11 +90,21 @@ pub struct ChaosConfig {
     pub watchdog: Duration,
     /// Executor retry/timeout policy.
     pub policy: RetryPolicy,
+    /// Inject the harsher cascading cocktail
+    /// ([`ExecFaultPlan::seeded_cascade`]): multiple mid-collective crashes
+    /// plus, on larger worlds, a flapping rank.
+    pub cascade: bool,
+    /// Recovery episodes tolerated before the harness stops trusting
+    /// coordinated rebuilds and degrades to the baseline algorithms.
+    pub max_recoveries: u32,
+    /// Bounds on each survivor-agreement episode.
+    pub membership: MembershipConfig,
 }
 
 impl ChaosConfig {
     /// Defaults: 10 s watchdog, [`RetryPolicy::chaos`] with a 100 ms
-    /// per-operation deadline (fast failure detection on small machines).
+    /// per-operation deadline (fast failure detection on small machines),
+    /// single-crash cocktail, degradation after 3 recovery episodes.
     pub fn new(seed: u64) -> Self {
         ChaosConfig {
             seed,
@@ -83,19 +113,31 @@ impl ChaosConfig {
                 op_deadline: Some(Duration::from_millis(100)),
                 ..RetryPolicy::chaos()
             },
+            cascade: false,
+            max_recoveries: 3,
+            membership: MembershipConfig::default(),
         }
+    }
+
+    /// Like [`Self::new`], but with the cascading multi-crash cocktail.
+    pub fn cascade(seed: u64) -> Self {
+        ChaosConfig { cascade: true, ..ChaosConfig::new(seed) }
     }
 }
 
 /// What a successful chaos run looked like.
 #[derive(Debug)]
 pub struct ChaosOutcome {
-    /// Whether recovery (communicator shrink + topology rebuild) ran.
+    /// Whether recovery (agreement + communicator shrink + rebuild) ran.
     pub recovered: bool,
-    /// World ranks marked failed during the run.
+    /// Whether the run fell back to the distance-oblivious baseline
+    /// algorithms (agreement failure, recovery churn, or a lone survivor).
+    pub degraded: bool,
+    /// World ranks agreed dead during the run, in detection order.
     pub failed_ranks: Vec<usize>,
-    /// Merged fault accounting: executor counters from every attempt plus
-    /// the recovery manager's rebuild count.
+    /// Merged fault accounting: executor counters from every attempt, the
+    /// detector's suspicion/confirmation transitions, the agreement
+    /// episode's rounds, and the recovery manager's rebuild count.
     pub stats: FaultStats,
     /// Timing of the final (survivor) schedule through the contention
     /// simulator under a seed-derived degraded link; its `fault_stats`
@@ -106,14 +148,17 @@ pub struct ChaosOutcome {
 impl ChaosOutcome {
     /// One-line human-readable summary of the run: recovery disposition,
     /// failed ranks, and the merged fault accounting (including retry
-    /// counts and total backoff) via
+    /// counts, total backoff, and the membership counters) via
     /// [`crate::metrics::fault_summary_line`].
     pub fn summary(&self) -> String {
-        let disposition = if self.recovered {
+        let mut disposition = if self.recovered {
             format!("recovered from rank failure {:?}", self.failed_ranks)
         } else {
             "no recovery needed".to_string()
         };
+        if self.degraded {
+            disposition.push_str(" [degraded to baseline]");
+        }
         format!(
             "chaos: {disposition}; {}; survivor time {:.6}s",
             crate::metrics::fault_summary_line(&self.stats),
@@ -127,6 +172,36 @@ fn build_schedule(mgr: &RecoveryManager, what: ChaosCollective) -> Schedule {
         ChaosCollective::Bcast { root, bytes } => mgr.bcast(root, bytes),
         ChaosCollective::Allgather { block } => mgr.allgather(block),
         ChaosCollective::Allreduce { bytes } => mgr.allreduce(0, bytes),
+    }
+}
+
+/// Rank-order binomial tree rooted at `root` — the distance-oblivious
+/// shape degraded allreduce runs on (baseline has no allreduce builder).
+fn binomial_tree(n: usize, root: usize) -> Tree {
+    let edges: Vec<Edge> = (1..n)
+        .map(|i| {
+            let child = (root + i) % n;
+            let parent = (root + (i & (i - 1))) % n;
+            Edge { u: parent.min(child), v: parent.max(child), w: 0 }
+        })
+        .collect();
+    Tree::from_edges(n, root, &edges)
+}
+
+/// Degraded-mode schedule: the distance-oblivious baselines, which need
+/// only the local live list — safe to build without a coordinated view.
+fn build_degraded(mgr: &RecoveryManager, what: ChaosCollective, preferred_root: usize) -> Schedule {
+    let n = mgr.comm().size();
+    let p2p = pdac_mpisim::P2pConfig::default();
+    match what {
+        ChaosCollective::Bcast { bytes, .. } => {
+            baseline::bcast::binomial(n, mgr.elect_root(preferred_root), bytes, &p2p)
+        }
+        ChaosCollective::Allgather { block } => baseline::allgather::ring(n, block, &p2p),
+        ChaosCollective::Allreduce { bytes } => {
+            let tree = binomial_tree(n, mgr.elect_root(0));
+            allreduce_schedule(&tree, bytes, &SchedConfig::default())
+        }
     }
 }
 
@@ -179,16 +254,25 @@ fn check_payload(
 
 /// One executor attempt under a watchdog. `Err(())` means the watchdog
 /// fired — the executor neither finished nor returned an error in time.
+/// The attempt runs with the shared fenced device, the episode's failure
+/// detector, and the current communicator epoch stamped on every KNEM
+/// registration.
+#[allow(clippy::too_many_arguments)]
 fn run_attempt(
     schedule: Schedule,
     device: Arc<KnemDevice>,
     policy: RetryPolicy,
     faults: Option<ExecFaultPlan>,
+    detector: Arc<FailureDetector>,
+    epoch: u64,
     watchdog: Duration,
 ) -> Result<Result<pdac_mpisim::ExecResult, ExecError>, ()> {
     let (tx, rx) = mpsc::channel();
     std::thread::spawn(move || {
-        let mut exec = ThreadExecutor::with_device(device).with_policy(policy);
+        let mut exec = ThreadExecutor::with_device(device)
+            .with_policy(policy)
+            .with_detector(detector)
+            .with_epoch(epoch);
         if let Some(plan) = faults {
             exec = exec.with_faults(plan);
         }
@@ -197,9 +281,32 @@ fn run_attempt(
     rx.recv_timeout(watchdog).map_err(|_| ())
 }
 
+/// Translates the not-yet-fired faults of the original (world-rank) plan
+/// into the current rank space of the shrunk communicator, so a crash whose
+/// budget never fired (its rank was blocked when the attempt died) still
+/// fires on a later attempt — the injection side of cascading failures.
+/// Dropped-notification indices do not survive a reshape and are not
+/// carried over.
+fn remap_plan(orig: &ExecFaultPlan, mgr: &RecoveryManager) -> ExecFaultPlan {
+    let mut plan = ExecFaultPlan::new(orig.seed);
+    for (current, &world) in mgr.survivors().iter().enumerate() {
+        let flap = orig.flap_of(world);
+        if !flap.is_zero() {
+            plan = plan.flap_rank(current, flap, orig.crash_of(world).unwrap_or(0));
+        } else if let Some(budget) = orig.crash_of(world) {
+            plan = plan.crash_rank(current, budget);
+        }
+        let stall = orig.stall_of(world);
+        if !stall.is_zero() {
+            plan = plan.stall_rank(current, stall);
+        }
+    }
+    plan
+}
+
 /// Runs `what` on `comm` under the seeded fault cocktail of `cfg`,
-/// recovering from detected rank failures. See the module docs for the
-/// guarantee this enforces.
+/// recovering from failures detected through the detector→agreement
+/// pipeline. See the module docs for the guarantee this enforces.
 pub fn run_chaos(
     comm: &Communicator,
     coll: AdaptiveColl,
@@ -225,107 +332,226 @@ pub fn run_chaos(
     // Seed-derived fault cocktail. The executor plan never crashes the
     // preferred root (the paper's leader is re-elected only when a *set
     // member* dies; killing the root of a bcast kills the data source).
-    let exec_plan = ExecFaultPlan::seeded(seed, comm.size(), &[preferred_root]);
+    let exec_plan = if cfg.cascade {
+        ExecFaultPlan::seeded_cascade(seed, comm.size(), 3, &[preferred_root])
+    } else {
+        ExecFaultPlan::seeded(seed, comm.size(), &[preferred_root])
+    };
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let knem_plan =
         KnemFaultPlan::transient(rng.gen_range(0..4) as u64, 1 + rng.gen_range(0..2) as u64);
     let degrade_factor = 0.05 + 0.45 * rng.gen_f64();
 
-    let schedule = build_schedule(&mgr, what);
+    // One device for the whole episode: the epoch fence raised after each
+    // agreement must be visible to stragglers of earlier attempts.
     let device = Arc::new(KnemDevice::with_faults(knem_plan));
-    let first = run_attempt(
-        schedule,
-        Arc::clone(&device),
-        cfg.policy,
-        Some(exec_plan.clone()),
-        cfg.watchdog,
-    )
-    .map_err(|()| CollectiveError::Hang { seed: Some(seed), watchdog: cfg.watchdog })?;
-
-    // Decide what the first attempt means. A crashed rank does not always
-    // surface as a timeout: a crashed *leaf* has no dependents, so the run
-    // can "complete" with the dead rank's buffer silently wrong — the
-    // injected-crash accounting is the detection signal in that case.
-    enum Next {
-        Done(pdac_mpisim::ExecResult),
-        Recover,
-        RetrySame,
-    }
-    let next = match first {
-        Ok(res) => {
-            stats.merge(&res.fault_stats);
-            if res.fault_stats.ranks_crashed > 0 {
-                Next::Recover
-            } else {
-                Next::Done(res)
-            }
-        }
-        Err(ExecError::Timeout { .. }) => {
-            stats.timeouts += 1;
-            if exec_plan.crashed_ranks().is_empty() {
-                // No crash in the plan: the timeout came from a transient
-                // loss (e.g. a dropped notification). Retry on the same
-                // communicator with a healed device.
-                Next::RetrySame
-            } else {
-                Next::Recover
-            }
-        }
-        Err(ExecError::Knem { retries, .. }) => {
-            // The device fault outlived the retry budget. Heal the device
-            // and retry the same schedule — the ranks are all alive.
-            stats.retries += u64::from(retries);
-            Next::RetrySame
-        }
-        Err(err) => return Err(CollectiveError::Exec { seed: Some(seed), err }),
-    };
+    let suspect_after = cfg
+        .policy
+        .op_deadline
+        .map(|d| (d / 5).max(Duration::from_millis(1)))
+        .unwrap_or(Duration::from_millis(20));
 
     let mut recovered = false;
-    let final_res = match next {
-        Next::Done(res) => res,
-        Next::Recover | Next::RetrySame => {
-            if matches!(next, Next::Recover) {
-                // Detected rank failure: shrink, invalidate, rebuild.
-                let culprits = exec_plan.crashed_ranks();
-                stats.ranks_crashed = stats.ranks_crashed.max(culprits.len() as u64);
-                telemetry.recorder().instant(
-                    0,
-                    "chaos",
-                    || format!("fault detected: crashed ranks {culprits:?}"),
-                    || vec![("crashed", culprits.len().into()), ("seed", seed.into())],
-                );
-                telemetry.registry().add("chaos.recoveries", 1);
-                for c in culprits {
-                    mgr.mark_failed(c)?;
-                }
-                recovered = true;
-            } else {
-                stats.retries += 1;
-            }
-            let rebuilt = build_schedule(&mgr, what);
-            let healed = Arc::new(KnemDevice::new());
-            let res = run_attempt(rebuilt, healed, cfg.policy, None, cfg.watchdog)
-                .map_err(|()| CollectiveError::Hang { seed: Some(seed), watchdog: cfg.watchdog })?
-                .map_err(|err| CollectiveError::Exec { seed: Some(seed), err })?;
-            stats.merge(&res.fault_stats);
-            res
+    let mut degraded = false;
+    let mut recoveries = 0u32;
+    let mut attempt_faults = Some(exec_plan.clone());
+    // Generous bound: every world rank dying one-by-one plus transient
+    // retries. Exceeding it means the episode is livelocked — report a
+    // hang rather than loop forever.
+    let max_attempts = comm.size() as u32 + 4;
+    let mut attempts = 0u32;
+
+    let final_res = loop {
+        attempts += 1;
+        if attempts > max_attempts {
+            return Err(CollectiveError::Hang { seed: Some(seed), watchdog: cfg.watchdog });
         }
+        if mgr.comm().size() == 1 {
+            // Lone survivor: there is no collective left to run. Degraded
+            // by definition — the caller gets its own data back.
+            if !degraded {
+                degraded = true;
+                stats.degraded_runs += 1;
+                telemetry.registry().add("chaos.degraded", 1);
+            }
+            break None;
+        }
+        let schedule = if degraded {
+            build_degraded(&mgr, what, preferred_root)
+        } else {
+            build_schedule(&mgr, what)
+        };
+        let detector =
+            Arc::new(FailureDetector::with_suspect_after(mgr.comm().size(), suspect_after));
+        let outcome = run_attempt(
+            schedule,
+            Arc::clone(&device),
+            cfg.policy,
+            attempt_faults.take(),
+            Arc::clone(&detector),
+            mgr.epoch(),
+            cfg.watchdog,
+        )
+        .map_err(|()| CollectiveError::Hang { seed: Some(seed), watchdog: cfg.watchdog })?;
+
+        // Decide what the attempt means — from *observations only*. A
+        // crashed leaf has no dependents, so the run can "complete" while
+        // the join audit still proves a member died; a dropped notification
+        // times a dependent out without anyone being dead.
+        let confirmed_current = match &outcome {
+            Ok(res) => {
+                stats.merge(&res.fault_stats);
+                detector.confirmed()
+            }
+            Err(ExecError::Timeout { .. }) => {
+                stats.timeouts += 1;
+                detector.confirmed()
+            }
+            Err(ExecError::StaleEpoch { .. }) => {
+                // A straggler of a fenced epoch surfaced in-line; the next
+                // attempt runs under the current epoch.
+                stats.fenced_messages += 1;
+                Vec::new()
+            }
+            Err(ExecError::Knem { retries, .. }) => {
+                // The device fault outlived the retry budget; the transient
+                // window heals with attempts, so retry on the same
+                // communicator.
+                stats.retries += u64::from(*retries);
+                Vec::new()
+            }
+            Err(_) => Vec::new(),
+        };
+        if outcome.is_err() {
+            // A completed run folds the detector transitions into its own
+            // fault accounting; an errored one carries no stats, so pull
+            // the counters straight off the detector.
+            let c = detector.counters();
+            stats.suspects_raised += c.suspects_raised;
+            stats.suspects_refuted += c.suspects_refuted;
+            stats.ranks_confirmed_dead += c.ranks_confirmed_dead;
+        }
+
+        if confirmed_current.is_empty() {
+            match outcome {
+                Ok(res) => break Some(res),
+                Err(ExecError::Timeout { .. }) => {
+                    // Nobody is proven dead: the timeout was transient
+                    // (dropped notification, stall past the deadline).
+                    // Retry on the same communicator.
+                    stats.retries += 1;
+                    continue;
+                }
+                Err(ExecError::StaleEpoch { .. }) | Err(ExecError::Knem { .. }) => continue,
+                Err(err) => {
+                    return Err(CollectiveError::Exec { seed: Some(seed), err });
+                }
+            }
+        }
+
+        // Deaths were observed: run the membership pipeline.
+        let world_confirmed: Vec<usize> =
+            confirmed_current.iter().map(|&r| mgr.survivors()[r]).collect();
+        let world_suspects: Vec<usize> =
+            detector.suspected().iter().map(|&r| mgr.survivors()[r]).collect();
+        telemetry.recorder().instant(
+            0,
+            "chaos",
+            || format!("detector confirmed dead world ranks {world_confirmed:?}"),
+            || vec![("confirmed", world_confirmed.len().into()), ("seed", seed.into())],
+        );
+        recoveries += 1;
+        if degraded || recoveries > cfg.max_recoveries {
+            // Past the churn bound (or already degraded): stop trusting
+            // coordinated rebuilds. Shrink by local knowledge and fall back
+            // to the rank-order baselines, which need no coordinated view.
+            if !degraded {
+                degraded = true;
+                stats.degraded_runs += 1;
+                telemetry.registry().add("chaos.degraded", 1);
+            }
+            for world in world_confirmed {
+                match mgr.mark_failed(world) {
+                    Ok(()) | Err(CollectiveError::UnknownRank { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        } else {
+            for &world in &world_confirmed {
+                mgr.propose_failure(world)?;
+            }
+            match mgr.await_agreement(&world_suspects, &cfg.membership, Some(seed)) {
+                Ok(outcome) => {
+                    telemetry.registry().add("chaos.recoveries", 1);
+                    telemetry.recorder().instant(
+                        0,
+                        "chaos",
+                        || {
+                            format!(
+                                "agreement: epoch {} survivors {:?} ({} rounds, {} reelections)",
+                                outcome.epoch,
+                                outcome.survivors,
+                                outcome.rounds,
+                                outcome.reelections
+                            )
+                        },
+                        || vec![("rounds", outcome.rounds.into()), ("seed", seed.into())],
+                    );
+                }
+                Err(CollectiveError::Agreement { err }) => {
+                    // Agreement could not converge: degraded mode, shrink
+                    // by local knowledge.
+                    telemetry.recorder().instant(
+                        0,
+                        "chaos",
+                        || format!("agreement failed ({err}); degrading to baseline"),
+                        || vec![("seed", seed.into())],
+                    );
+                    degraded = true;
+                    stats.degraded_runs += 1;
+                    telemetry.registry().add("chaos.degraded", 1);
+                    for world in world_confirmed {
+                        match mgr.mark_failed(world) {
+                            Ok(()) | Err(CollectiveError::UnknownRank { .. }) => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        recovered = true;
+        // Fence the dead epochs: any straggler still holding the old epoch
+        // is rejected by the device rather than delivered into the rebuilt
+        // topology.
+        device.fence_epochs_below(mgr.epoch());
+        // Re-inject the faults that have not fired yet (remapped to the
+        // shrunk rank space) so cascading crashes keep cascading.
+        let next_plan = remap_plan(&exec_plan, &mgr);
+        attempt_faults = (!next_plan.is_empty()).then_some(next_plan);
     };
 
     // The run completed — now the bytes must actually be right on the
     // (possibly shrunk) communicator.
     let root = mgr.elect_root(preferred_root);
     let n = mgr.comm().size();
-    check_payload(what, root, &final_res, n)
-        .map_err(|detail| CollectiveError::Verify { seed: Some(seed), detail })?;
+    if let Some(res) = &final_res {
+        check_payload(what, root, res, n)
+            .map_err(|detail| CollectiveError::Verify { seed: Some(seed), detail })?;
+    }
     stats.merge(&mgr.stats());
+    stats.fenced_messages = stats.fenced_messages.max(device.fenced_messages());
 
     // Timing leg: the survivor schedule through the contention simulator
     // under a seed-derived degraded memory controller, with the chaos
     // run's accounting merged into the report.
     let machine = mgr.comm().machine_arc();
     let binding = mgr.comm().binding().clone();
-    let sim_schedule = build_schedule(&mgr, what);
+    let sim_schedule = if degraded {
+        build_degraded(&mgr, what, preferred_root)
+    } else {
+        build_schedule(&mgr, what)
+    };
     let sim_plan = SimFaultPlan::new(seed).degrade_link(Resource::Mc(0), degrade_factor);
     let mut sim_report = SimExecutor::new(&machine, &binding, SimConfig::default())
         .with_fault_plan(sim_plan)
@@ -338,7 +564,13 @@ pub fn run_chaos(
     sim_report.fault_stats.merge(&stats);
     let stats = sim_report.fault_stats;
 
-    Ok(ChaosOutcome { recovered, failed_ranks: mgr.failed().to_vec(), stats, sim_report })
+    Ok(ChaosOutcome {
+        recovered,
+        degraded,
+        failed_ranks: mgr.failed().to_vec(),
+        stats,
+        sim_report,
+    })
 }
 
 #[cfg(test)]
@@ -364,8 +596,11 @@ mod tests {
         )
         .unwrap_or_else(|e| panic!("seed {}: {e}", cfg.seed));
         assert!(out.recovered, "seed 0 crashes a non-root rank");
+        assert!(!out.degraded, "a single crash recovers without degrading");
         assert_eq!(out.failed_ranks.len(), 1);
         assert!(out.stats.topology_rebuilds >= 1);
+        assert!(out.stats.ranks_confirmed_dead >= 1, "death came through the detector");
+        assert!(out.stats.agreement_rounds >= 1, "the survivor vote ran");
         assert!(out.stats.links_degraded >= 1, "sim leg degraded a link");
         assert!(out.sim_report.total_time > 0.0);
         let line = out.summary();
@@ -389,10 +624,98 @@ mod tests {
         let b = run().unwrap_or_else(|e| panic!("seed 77: {e}"));
         assert_eq!(a.failed_ranks, b.failed_ranks);
         assert_eq!(a.recovered, b.recovered);
+        assert_eq!(a.degraded, b.degraded);
         assert_eq!(
             a.sim_report.total_time.to_bits(),
             b.sim_report.total_time.to_bits(),
             "survivor timing is bit-exact across runs"
         );
     }
+
+    #[test]
+    fn lone_survivor_degrades_instead_of_erroring() {
+        // Two ranks, one crashes: agreement leaves a single survivor and
+        // the "collective" degenerates — degraded, not an error.
+        let comm = world(2);
+        let mut cfg = ChaosConfig::new(11);
+        cfg.watchdog = Duration::from_secs(5);
+        let out = run_chaos(
+            &comm,
+            AdaptiveColl::default(),
+            ChaosCollective::Bcast { root: 0, bytes: 4096 },
+            &cfg,
+        )
+        .unwrap_or_else(|e| panic!("seed 11: {e}"));
+        assert!(out.degraded, "one survivor cannot run a collective");
+        assert_eq!(out.failed_ranks.len(), 1);
+        assert!(out.stats.degraded_runs >= 1);
+        assert!(out.summary().contains("degraded to baseline"), "{}", out.summary());
+    }
+
+    #[test]
+    fn recovery_churn_past_bound_downgrades_to_baseline() {
+        // With a zero recovery budget the first confirmed death flips the
+        // harness to baseline schedules — the run still completes and
+        // verifies over the survivors.
+        let comm = world(6);
+        let mut cfg = ChaosConfig::new(0);
+        cfg.max_recoveries = 0;
+        let out = run_chaos(
+            &comm,
+            AdaptiveColl::default(),
+            ChaosCollective::Bcast { root: 0, bytes: 20_000 },
+            &cfg,
+        )
+        .unwrap_or_else(|e| panic!("seed 0: {e}"));
+        assert!(out.recovered);
+        assert!(out.degraded, "zero recovery budget forces the baseline fallback");
+        assert_eq!(out.failed_ranks.len(), 1);
+        assert!(out.stats.degraded_runs >= 1);
+        let line = out.summary();
+        assert!(line.contains("degraded to baseline"), "{line}");
+    }
+
+    #[test]
+    fn cascading_crashes_recover_through_repeated_agreement() {
+        // The cascade cocktail can kill several ranks mid-collective; every
+        // recovery must come through the detector→agreement pipeline, and
+        // the final payload must verify on whatever survives. Allgather is
+        // the right victim: each rank executes n-1 pulls, so the 1-3 op
+        // crash budgets fire in the middle of the ring (a bcast leaf has a
+        // single op and would outrun the budget).
+        let comm = world(8);
+        let mut hit_multi = false;
+        for seed in 0..12 {
+            let cfg = ChaosConfig::cascade(seed);
+            let out = run_chaos(
+                &comm,
+                AdaptiveColl::default(),
+                ChaosCollective::Allgather { block: 2048 },
+                &cfg,
+            )
+            .unwrap_or_else(|e| panic!("cascade seed {seed}: {e}"));
+            if out.failed_ranks.len() > 1 {
+                hit_multi = true;
+                assert!(out.stats.agreement_rounds >= 1 || out.degraded);
+            }
+            assert_eq!(
+                out.failed_ranks.len() as u64,
+                out.stats.ranks_confirmed_dead,
+                "seed {seed}: every removal was detector-confirmed (no omniscient path)"
+            );
+        }
+        assert!(hit_multi, "12 cascade seeds should include a multi-rank crash");
+    }
+
+    #[test]
+    fn degraded_allreduce_binomial_tree_is_well_formed() {
+        for n in [2, 3, 5, 8] {
+            for root in 0..n {
+                let t = binomial_tree(n, root);
+                assert_eq!(t.root, root);
+                assert_eq!(t.len(), n);
+            }
+        }
+    }
 }
+

@@ -125,7 +125,7 @@ fn sort_edges_by_key<K: Ord>(edges: &mut [Edge], key: impl Fn(&Edge) -> K + Sync
     let chunk = len.div_ceil(threads);
     std::thread::scope(|scope| {
         for part in edges.chunks_mut(chunk) {
-            scope.spawn(|| part.sort_by(|a, b| key(a).cmp(&key(b))));
+            scope.spawn(|| part.sort_by_key(&key));
         }
     });
     // Merge the sorted runs pairwise until one remains; merging is stable

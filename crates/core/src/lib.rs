@@ -49,6 +49,7 @@ pub mod dot;
 pub mod edges;
 pub mod framework;
 pub mod gather;
+pub mod membership;
 pub mod metrics;
 pub mod recovery;
 pub mod reduce;
@@ -65,6 +66,7 @@ pub use allgather_ring::Ring;
 pub use bcast_tree::build_bcast_tree;
 pub use chaos::{run_chaos, ChaosCollective, ChaosConfig, ChaosOutcome};
 pub use edges::{bcast_edge_order, ring_edge_order, Edge};
+pub use membership::{agree, AgreementError, AgreementOutcome, MembershipConfig};
 pub use recovery::{CollectiveError, RecoveryManager};
 pub use topocache::{TopoCache, TopoCacheStats, TopoKey, TopoKind};
 pub use tree::Tree;

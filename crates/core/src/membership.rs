@@ -1,0 +1,335 @@
+//! Survivor-set agreement: the distributed half of failure recovery.
+//!
+//! PR 2's recovery assumed a god's-eye view — the harness called
+//! [`crate::recovery::RecoveryManager::mark_failed`] and every rank
+//! magically agreed on who died. Real MPI recovery (ULFM-style shrink)
+//! cannot: each rank holds only its *local* evidence (suspicions and
+//! confirmed deaths from the failure detector), and the distance-aware
+//! tree/ring of the paper must not be rebuilt until every live rank holds
+//! the **same** `(epoch, survivor_set)` — a rank rebuilding over a
+//! different member set would route traffic through ranks its peers
+//! excluded.
+//!
+//! [`agree`] runs a deterministic, round-driven simulation of a
+//! coordinator-based two-phase vote:
+//!
+//! 1. **Election.** Every rank nominates the lowest rank it believes alive
+//!    as coordinator. If the nominee is itself dead (it never answers), the
+//!    waiting ranks time out, add it to their dead view, and re-elect —
+//!    bounded by [`MembershipConfig::max_reelections`], beyond which the
+//!    episode is *churn* and the caller falls back to degraded mode.
+//! 2. **Phase 1 (vote).** The coordinator polls every world rank for its
+//!    local dead view. An answer is proof of life — a *falsely* suspected
+//!    rank (stalled, not dead) answers the poll and thereby survives the
+//!    vote; a dead rank stays silent and is excluded even if nobody had
+//!    suspected it yet.
+//! 3. **Phase 2 (commit).** The coordinator broadcasts
+//!    `COMMIT(epoch, survivors)`; every live rank installs it. The epoch
+//!    strictly exceeds the epoch being superseded, so installs are
+//!    monotone.
+//!
+//! The simulation is a pure function of its inputs — no wall clock, no
+//! RNG — so a chaos run that went wrong replays exactly from its seed.
+
+use std::collections::BTreeSet;
+
+/// Bounds on the agreement episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipConfig {
+    /// Vote rounds allowed before the episode is declared non-converging.
+    pub max_rounds: u64,
+    /// Coordinator re-elections tolerated before the episode is declared
+    /// churn and the caller degrades.
+    pub max_reelections: u64,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        MembershipConfig { max_rounds: 64, max_reelections: 8 }
+    }
+}
+
+/// Why agreement could not be reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgreementError {
+    /// Every rank is dead; there is no one left to agree.
+    NoSurvivors {
+        /// Fault seed of the episode, if known.
+        seed: Option<u64>,
+    },
+    /// Coordinator re-election churned past the configured bound.
+    ChurnExceeded {
+        /// Fault seed of the episode, if known.
+        seed: Option<u64>,
+        /// Re-elections performed before giving up.
+        reelections: u64,
+    },
+}
+
+impl std::fmt::Display for AgreementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let seed = |s: &Option<u64>| match s {
+            Some(v) => format!(" (fault seed {v})"),
+            None => String::new(),
+        };
+        match self {
+            AgreementError::NoSurvivors { seed: s } => {
+                write!(f, "membership agreement impossible: no survivors{}", seed(s))
+            }
+            AgreementError::ChurnExceeded { seed: s, reelections } => {
+                write!(
+                    f,
+                    "membership agreement abandoned after {reelections} coordinator \
+                     re-elections{}",
+                    seed(s)
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AgreementError {}
+
+/// The converged result of one agreement episode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgreementOutcome {
+    /// Epoch the survivors installed (strictly greater than the epoch
+    /// superseded).
+    pub epoch: u64,
+    /// Agreed survivor set, ascending world ranks.
+    pub survivors: Vec<usize>,
+    /// The coordinator that drove the successful commit.
+    pub coordinator: usize,
+    /// Vote rounds executed (including rounds lost to dead coordinators).
+    pub rounds: u64,
+    /// Coordinator re-elections along the way.
+    pub reelections: u64,
+    /// What each rank installed: `None` for dead ranks, `Some((epoch,
+    /// survivors))` for live ones. The convergence property under test —
+    /// every `Some` is identical.
+    pub installed: Vec<Option<(u64, Vec<usize>)>>,
+}
+
+/// Runs one agreement episode over world ranks `0..world_size`.
+///
+/// * `base_epoch` — the epoch being superseded; the committed epoch is
+///   `base_epoch + 1`.
+/// * `dead` — ground truth of the episode: these ranks never answer a poll
+///   or deliver a commit. (In the chaos harness this is the detector's
+///   *confirmed* set plus whatever actually crashed; the protocol excludes
+///   silent ranks whether or not anyone suspected them.)
+/// * `views[r]` — rank `r`'s local dead view entering the episode
+///   (suspicions and confirmations). Views steer coordinator election;
+///   they do **not** decide survival — answering the poll does.
+pub fn agree(
+    world_size: usize,
+    base_epoch: u64,
+    dead: &BTreeSet<usize>,
+    views: &[BTreeSet<usize>],
+    cfg: &MembershipConfig,
+    seed: Option<u64>,
+) -> Result<AgreementOutcome, AgreementError> {
+    assert_eq!(views.len(), world_size, "one local view per world rank");
+    let live: Vec<usize> = (0..world_size).filter(|r| !dead.contains(r)).collect();
+    if live.is_empty() {
+        return Err(AgreementError::NoSurvivors { seed });
+    }
+
+    // Gossiped suspicions steer the election (a suspected candidate is
+    // skipped while unsuspected ones remain), but only an actual
+    // non-response *retires* a candidate — suspicion alone must not, or
+    // mutually suspicious live ranks could elect nobody.
+    let suspected: BTreeSet<usize> = live
+        .iter()
+        .flat_map(|&r| views[r].iter().copied())
+        .collect();
+    let mut retired: BTreeSet<usize> = BTreeSet::new();
+
+    let mut rounds = 0u64;
+    let mut reelections = 0u64;
+    loop {
+        if rounds >= cfg.max_rounds {
+            // Unreachable with a finite world (every failed round retires a
+            // candidate), kept as a defense-in-depth bound.
+            return Err(AgreementError::ChurnExceeded { seed, reelections });
+        }
+        rounds += 1;
+
+        // Election: lowest unretired unsuspected rank; if suspicion covers
+        // every unretired rank, lowest unretired. Every candidate is either
+        // live (the vote proceeds) or gets retired this round, so the loop
+        // terminates.
+        let candidate = (0..world_size)
+            .find(|r| !retired.contains(r) && !suspected.contains(r))
+            .or_else(|| (0..world_size).find(|r| !retired.contains(r)));
+        let Some(coordinator) = candidate else {
+            return Err(AgreementError::NoSurvivors { seed });
+        };
+        if dead.contains(&coordinator) {
+            // The nominee never sends PROPOSE; its electors time out,
+            // retire it, and re-elect.
+            retired.insert(coordinator);
+            reelections += 1;
+            if reelections > cfg.max_reelections {
+                return Err(AgreementError::ChurnExceeded { seed, reelections });
+            }
+            continue;
+        }
+
+        // Phase 1: the coordinator polls all world ranks. An answer proves
+        // life; silence condemns — a rank that answers survives the vote no
+        // matter how many peers suspected it, and a silent rank is excluded
+        // even if nobody did.
+        let agreed_dead: BTreeSet<usize> =
+            (0..world_size).filter(|r| dead.contains(r)).collect();
+
+        // Phase 2: commit. Every live rank installs the same tuple.
+        let epoch = base_epoch + 1;
+        let survivors: Vec<usize> =
+            (0..world_size).filter(|r| !agreed_dead.contains(r)).collect();
+        let installed: Vec<Option<(u64, Vec<usize>)>> = (0..world_size)
+            .map(|r| (!dead.contains(&r)).then(|| (epoch, survivors.clone())))
+            .collect();
+        return Ok(AgreementOutcome {
+            epoch,
+            survivors,
+            coordinator,
+            rounds,
+            reelections,
+            installed,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views(n: usize, each: &[(usize, &[usize])]) -> Vec<BTreeSet<usize>> {
+        let mut v = vec![BTreeSet::new(); n];
+        for (rank, dead) in each {
+            v[*rank] = dead.iter().copied().collect();
+        }
+        v
+    }
+
+    #[test]
+    fn vote_excludes_silent_ranks_even_when_unsuspected() {
+        // Rank 5 crashed but nobody suspected it yet: silence at the poll
+        // excludes it anyway.
+        let dead: BTreeSet<usize> = [2, 5].into_iter().collect();
+        let out = agree(
+            8,
+            10,
+            &dead,
+            &views(8, &[(0, &[2]), (3, &[2])]),
+            &MembershipConfig::default(),
+            Some(7),
+        )
+        .unwrap();
+        assert_eq!(out.survivors, vec![0, 1, 3, 4, 6, 7]);
+        assert_eq!(out.epoch, 11, "epoch strictly advances");
+        assert_eq!(out.coordinator, 0);
+        assert_eq!(out.reelections, 0);
+    }
+
+    #[test]
+    fn falsely_suspected_rank_survives_the_vote() {
+        // Rank 3 is merely stalled: half the world suspects it, but it
+        // answers the poll and stays a member.
+        let dead: BTreeSet<usize> = [1].into_iter().collect();
+        let out = agree(
+            6,
+            0,
+            &dead,
+            &views(6, &[(0, &[1, 3]), (2, &[3]), (4, &[3])]),
+            &MembershipConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.survivors, vec![0, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn dead_coordinator_triggers_reelection() {
+        // Ranks 0 and 1 are dead; 0 is nominated first (nobody suspected
+        // it), times out, then 1, then 2 wins.
+        let dead: BTreeSet<usize> = [0, 1].into_iter().collect();
+        let out = agree(6, 3, &dead, &views(6, &[]), &MembershipConfig::default(), Some(9))
+            .unwrap();
+        assert_eq!(out.coordinator, 2);
+        assert_eq!(out.reelections, 2);
+        assert_eq!(out.rounds, 3);
+        assert_eq!(out.survivors, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn suspicion_steers_election_past_dead_ranks() {
+        // Rank 3 already suspects 0: the gossiped view retires 0 before the
+        // first nomination, saving a round — 0 is never tried.
+        let dead: BTreeSet<usize> = [0].into_iter().collect();
+        let out = agree(
+            4,
+            0,
+            &dead,
+            &views(4, &[(3, &[0])]),
+            &MembershipConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.coordinator, 1);
+        assert_eq!(out.reelections, 0);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn churn_beyond_bound_is_typed() {
+        // Five dead low ranks with a bound of 2 re-elections: churn.
+        let dead: BTreeSet<usize> = (0..5).collect();
+        let err = agree(
+            8,
+            0,
+            &dead,
+            &views(8, &[]),
+            &MembershipConfig { max_rounds: 64, max_reelections: 2 },
+            Some(13),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AgreementError::ChurnExceeded { reelections: 3, .. }));
+    }
+
+    #[test]
+    fn all_dead_is_typed() {
+        let dead: BTreeSet<usize> = (0..4).collect();
+        let err =
+            agree(4, 0, &dead, &views(4, &[]), &MembershipConfig::default(), None).unwrap_err();
+        assert!(matches!(err, AgreementError::NoSurvivors { .. }));
+    }
+
+    #[test]
+    fn all_live_installs_are_identical() {
+        let dead: BTreeSet<usize> = [1, 4].into_iter().collect();
+        let out = agree(
+            7,
+            5,
+            &dead,
+            &views(7, &[(0, &[4]), (2, &[1]), (6, &[1, 4])]),
+            &MembershipConfig::default(),
+            None,
+        )
+        .unwrap();
+        let tuples: Vec<_> = out.installed.iter().flatten().collect();
+        assert_eq!(tuples.len(), 5, "five live ranks installed");
+        assert!(tuples.windows(2).all(|w| w[0] == w[1]), "identical installs");
+        assert!(out.installed[1].is_none() && out.installed[4].is_none());
+    }
+
+    #[test]
+    fn agreement_is_deterministic() {
+        let dead: BTreeSet<usize> = [0, 3, 5].into_iter().collect();
+        let v = views(8, &[(1, &[0, 5]), (2, &[3])]);
+        let a = agree(8, 2, &dead, &v, &MembershipConfig::default(), Some(4)).unwrap();
+        let b = agree(8, 2, &dead, &v, &MembershipConfig::default(), Some(4)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -111,12 +111,15 @@ pub fn merge_fault_stats(runs: &[FaultStats]) -> FaultStats {
 }
 
 /// One-line human-readable summary of a [`FaultStats`] record, used by the
-/// chaos harness and the benchmark reports.
+/// chaos harness and the benchmark reports. Every field renders — including
+/// zero values — so lines from different runs stay column-comparable and
+/// log diffs never see a field appear or vanish.
 pub fn fault_summary_line(stats: &FaultStats) -> String {
     format!(
         "faults: {} injected ({} links degraded, {} ranks stalled, {} ranks crashed, \
          {} notifies dropped), {} retries ({:.3} ms backoff), {} timeouts, {} ops abandoned, \
-         {} topology rebuilds",
+         {} topology rebuilds; membership: {} suspected ({} refuted), {} confirmed dead, \
+         {} agreement rounds ({} re-elections), {} fenced, {} degraded runs",
         stats.total_injected(),
         stats.links_degraded,
         stats.ranks_stalled,
@@ -127,6 +130,13 @@ pub fn fault_summary_line(stats: &FaultStats) -> String {
         stats.timeouts,
         stats.ops_abandoned,
         stats.topology_rebuilds,
+        stats.suspects_raised,
+        stats.suspects_refuted,
+        stats.ranks_confirmed_dead,
+        stats.agreement_rounds,
+        stats.coordinator_reelections,
+        stats.fenced_messages,
+        stats.degraded_runs,
     )
 }
 

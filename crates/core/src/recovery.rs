@@ -18,6 +18,7 @@
 //! Every failure path returns a typed [`CollectiveError`] carrying the
 //! fault seed, so a chaos run that goes wrong can be replayed exactly.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -25,6 +26,7 @@ use pdac_mpisim::{Communicator, ExecError};
 use pdac_simnet::{FaultStats, Schedule};
 
 use crate::adaptive::AdaptiveColl;
+use crate::membership::{agree, AgreementError, AgreementOutcome, MembershipConfig};
 use crate::sched::allreduce_schedule;
 use crate::topocache::TopoCache;
 
@@ -73,6 +75,13 @@ pub enum CollectiveError {
         /// Human-readable mismatch description.
         detail: String,
     },
+    /// The survivor-set agreement protocol could not converge (coordinator
+    /// churn past the bound, or no survivors). The chaos harness treats
+    /// this as the degraded-mode trigger rather than a hard failure.
+    Agreement {
+        /// The underlying agreement failure.
+        err: AgreementError,
+    },
 }
 
 impl std::fmt::Display for CollectiveError {
@@ -97,6 +106,9 @@ impl std::fmt::Display for CollectiveError {
             CollectiveError::Verify { seed: s, detail } => {
                 write!(f, "survivor verification failed{}: {detail}", seed(s))
             }
+            CollectiveError::Agreement { err } => {
+                write!(f, "survivor agreement failed: {err}")
+            }
         }
     }
 }
@@ -115,6 +127,9 @@ pub struct RecoveryManager {
     world_of: Vec<usize>,
     /// World ranks marked failed, in detection order.
     failed: Vec<usize>,
+    /// World ranks proposed dead (detector-confirmed) but not yet agreed:
+    /// the input of the next [`Self::await_agreement`] episode.
+    proposed: BTreeSet<usize>,
     stats: FaultStats,
 }
 
@@ -129,6 +144,7 @@ impl RecoveryManager {
             world_size,
             world_of: (0..world_size).collect(),
             failed: Vec::new(),
+            proposed: BTreeSet::new(),
             stats: FaultStats::default(),
         }
     }
@@ -191,6 +207,87 @@ impl RecoveryManager {
         telemetry.registry().add("recovery.ranks_failed", 1);
         telemetry.registry().add("recovery.topology_rebuilds", 1);
         Ok(())
+    }
+
+    /// Current communicator epoch — the fence value once the next
+    /// agreement commits.
+    pub fn epoch(&self) -> u64 {
+        self.comm.epoch()
+    }
+
+    /// World ranks proposed dead but not yet agreed.
+    pub fn proposed(&self) -> Vec<usize> {
+        self.proposed.iter().copied().collect()
+    }
+
+    /// Records local evidence that world rank `world` is dead (a
+    /// detector-confirmed crash). No topology change happens here — the
+    /// shrink waits for [`Self::await_agreement`], because a rank must not
+    /// rebuild over a survivor set its peers have not converged on.
+    pub fn propose_failure(&mut self, world: usize) -> Result<(), CollectiveError> {
+        if self.current_rank_of(world).is_none() {
+            return Err(CollectiveError::UnknownRank { rank: world, world_size: self.world_size });
+        }
+        if self.proposed.insert(world) {
+            pdac_telemetry::global().recorder().instant(
+                world as u64,
+                "recovery",
+                || format!("propose_failure world rank {world}"),
+                || vec![("world_rank", world.into())],
+            );
+        }
+        Ok(())
+    }
+
+    /// Runs one survivor-set agreement episode over the proposals
+    /// accumulated by [`Self::propose_failure`] (plus `suspects`, which
+    /// steer coordinator election but cannot condemn a responsive rank),
+    /// then shrinks the communicator to the agreed survivors under a fresh
+    /// epoch. Returns the converged outcome; on a non-converging episode
+    /// ([`CollectiveError::Agreement`]) the communicator is left untouched
+    /// so the caller can fall back to degraded mode.
+    pub fn await_agreement(
+        &mut self,
+        suspects: &[usize],
+        cfg: &MembershipConfig,
+        seed: Option<u64>,
+    ) -> Result<AgreementOutcome, CollectiveError> {
+        // The episode runs in *current* rank space (the protocol's world is
+        // whatever the communicator currently is).
+        let n = self.comm.size();
+        let dead: BTreeSet<usize> = self
+            .proposed
+            .iter()
+            .filter_map(|&w| self.current_rank_of(w))
+            .collect();
+        let suspect_view: BTreeSet<usize> = suspects
+            .iter()
+            .filter_map(|&w| self.current_rank_of(w))
+            .chain(dead.iter().copied())
+            .collect();
+        // Every live rank enters with the same detector-fed view; ranks do
+        // not suspect themselves.
+        let views: Vec<BTreeSet<usize>> = (0..n)
+            .map(|r| suspect_view.iter().copied().filter(|&s| s != r).collect())
+            .collect();
+        let outcome = agree(n, self.comm.epoch(), &dead, &views, cfg, seed)
+            .map_err(|err| CollectiveError::Agreement { err })?;
+        self.stats.agreement_rounds += outcome.rounds;
+        self.stats.coordinator_reelections += outcome.reelections;
+        let registry = pdac_telemetry::global().registry();
+        registry.add("recovery.agreement_rounds", outcome.rounds);
+        registry.add("recovery.coordinator_reelections", outcome.reelections);
+
+        // Commit: shrink to the agreed survivors (translate back to world
+        // ranks first — mark_failed remaps current ranks as it goes).
+        let casualties: Vec<usize> =
+            (0..n).filter(|r| !outcome.survivors.contains(r)).map(|r| self.world_of[r]).collect();
+        for world in casualties {
+            self.mark_failed(world)?;
+            self.proposed.remove(&world);
+        }
+        self.proposed.clear();
+        Ok(outcome)
     }
 
     /// Root re-election by the set-leader rule: the preferred world rank if
@@ -309,5 +406,89 @@ mod tests {
         let mut mgr = manager(2);
         mgr.mark_failed(0).unwrap();
         assert!(matches!(mgr.mark_failed(1), Err(CollectiveError::AllRanksFailed { .. })));
+    }
+
+    #[test]
+    fn double_propose_is_idempotent_double_mark_is_typed() {
+        let mut mgr = manager(6);
+        mgr.propose_failure(4).unwrap();
+        mgr.propose_failure(4).unwrap();
+        assert_eq!(mgr.proposed(), vec![4], "re-proposing the same evidence is a no-op");
+        let out = mgr.await_agreement(&[], &MembershipConfig::default(), Some(1)).unwrap();
+        assert_eq!(out.survivors.len(), 5);
+        assert!(mgr.proposed().is_empty(), "agreement consumes the proposals");
+        // The rank is gone now: proposing or marking it again is typed.
+        assert!(matches!(
+            mgr.propose_failure(4),
+            Err(CollectiveError::UnknownRank { rank: 4, .. })
+        ));
+        assert!(matches!(mgr.mark_failed(4), Err(CollectiveError::UnknownRank { rank: 4, .. })));
+    }
+
+    #[test]
+    fn all_but_one_rank_can_fail_through_agreement() {
+        let mut mgr = manager(5);
+        for world in 1..5 {
+            mgr.propose_failure(world).unwrap();
+        }
+        let out = mgr.await_agreement(&[], &MembershipConfig::default(), Some(2)).unwrap();
+        assert_eq!(out.survivors, vec![0], "rank 0 answered the poll and survived alone");
+        assert_eq!(mgr.comm().size(), 1);
+        assert_eq!(mgr.survivors(), &[0]);
+        assert_eq!(mgr.elect_root(3), 0, "the lone survivor is every root");
+        assert_eq!(mgr.stats().topology_rebuilds, 4);
+        // The very last rank cannot be agreed away: no coordinator answers.
+        mgr.propose_failure(0).unwrap();
+        let err = mgr.await_agreement(&[], &MembershipConfig::default(), Some(2));
+        assert!(matches!(
+            err,
+            Err(CollectiveError::Agreement { err: AgreementError::NoSurvivors { .. } })
+        ));
+        assert_eq!(mgr.comm().size(), 1, "a failed episode leaves the communicator untouched");
+    }
+
+    #[test]
+    fn repeated_root_death_keeps_epochs_monotone_and_election_deterministic() {
+        let mut mgr = manager(6);
+        let mut last_epoch = mgr.epoch();
+        // Kill the current leader four times in a row; each episode must
+        // mint a strictly larger fencing epoch and re-elect the smallest
+        // surviving world rank.
+        for round in 0..4u64 {
+            let root_world = mgr.survivors()[mgr.elect_root(0)];
+            assert_eq!(root_world as u64, round, "leader election is rank-order deterministic");
+            mgr.propose_failure(root_world).unwrap();
+            let out = mgr
+                .await_agreement(&[root_world], &MembershipConfig::default(), Some(round))
+                .unwrap();
+            assert!(out.epoch > round, "agreement epochs advance");
+            assert!(mgr.epoch() > last_epoch, "fencing epoch is strictly monotone");
+            last_epoch = mgr.epoch();
+            assert_eq!(mgr.failed().last().copied(), Some(root_world));
+        }
+        assert_eq!(mgr.survivors(), &[4, 5]);
+        // Replaying the same deaths on a fresh manager lands on the same
+        // survivor set and the same leader (epochs are global, so only the
+        // group — not the epoch value — must match).
+        let mut replay = manager(6);
+        for round in 0..4u64 {
+            let root_world = replay.survivors()[replay.elect_root(0)];
+            replay.propose_failure(root_world).unwrap();
+            replay.await_agreement(&[root_world], &MembershipConfig::default(), Some(round)).unwrap();
+        }
+        assert_eq!(replay.survivors(), mgr.survivors());
+        assert_eq!(replay.elect_root(0), mgr.elect_root(0));
+        assert_eq!(replay.failed(), mgr.failed());
+    }
+
+    #[test]
+    fn suspects_cannot_condemn_a_live_rank() {
+        let mut mgr = manager(4);
+        // Rank 2 is merely suspected (no crash proposed): the vote must
+        // keep it, because it would answer the coordinator's poll.
+        mgr.propose_failure(1).unwrap();
+        let out = mgr.await_agreement(&[2], &MembershipConfig::default(), Some(9)).unwrap();
+        assert_eq!(out.survivors, vec![0, 2, 3]);
+        assert_eq!(mgr.survivors(), &[0, 2, 3]);
     }
 }

@@ -46,6 +46,20 @@ pub enum XmlError {
     },
     /// The document contains no `Machine` object with at least one core.
     NoCores,
+    /// Element nesting exceeds the hard depth cap. Real lstopo output is a
+    /// dozen levels deep; a document past the cap is hostile or corrupt,
+    /// and rejecting it keeps both conversion and teardown off the
+    /// recursion-depth cliff.
+    TooDeep {
+        /// The enforced nesting limit.
+        limit: usize,
+    },
+    /// The converted object tree is not a tree: a parent chain loops back
+    /// on itself or points outside the arena.
+    CyclicTopology {
+        /// Arena index where the walk detected the cycle.
+        at: usize,
+    },
 }
 
 impl std::fmt::Display for XmlError {
@@ -56,11 +70,23 @@ impl std::fmt::Display for XmlError {
                 write!(f, "closing tag </{close}> does not match <{open}>")
             }
             XmlError::NoCores => write!(f, "topology contains no cores"),
+            XmlError::TooDeep { limit } => {
+                write!(f, "element nesting exceeds the {limit}-level limit")
+            }
+            XmlError::CyclicTopology { at } => {
+                write!(f, "object tree is cyclic or dangling at index {at}")
+            }
         }
     }
 }
 
 impl std::error::Error for XmlError {}
+
+/// Hard cap on element nesting. lstopo emits at most ~15 levels even on
+/// exotic machines; anything deeper is hostile input, and bounding it here
+/// bounds the recursion depth of [`Converter::convert`] and of the
+/// [`XNode`] drop glue.
+const MAX_DEPTH: usize = 128;
 
 /// A parsed XML element.
 #[derive(Debug, Clone)]
@@ -169,6 +195,9 @@ fn parse_xml(input: &str) -> Result<XNode, XmlError> {
                 }
             }
         } else {
+            if stack.len() >= MAX_DEPTH {
+                return Err(XmlError::TooDeep { limit: MAX_DEPTH });
+            }
             stack.push(node);
         }
         pos += end + 1;
@@ -380,6 +409,43 @@ impl Converter {
     }
 }
 
+/// Structural audit of a converted object arena: every parent index is in
+/// range, every parent/child link is mutual, and every parent chain
+/// terminates at a root within `objs.len()` steps — i.e. the arena is a
+/// forest, not a cycle. The converter builds trees by construction, but
+/// the audit keeps a corrupted or hand-assembled arena (and any future
+/// refactor of the converter) from sending distance queries into an
+/// infinite parent walk.
+pub fn validate_object_tree(objs: &[Obj]) -> Result<(), XmlError> {
+    let n = objs.len();
+    for (idx, obj) in objs.iter().enumerate() {
+        if let Some(p) = obj.parent {
+            if p >= n {
+                return Err(XmlError::CyclicTopology { at: idx });
+            }
+            if !objs[p].children.contains(&idx) {
+                return Err(XmlError::CyclicTopology { at: idx });
+            }
+        }
+        for &c in &obj.children {
+            if c >= n || objs[c].parent != Some(idx) {
+                return Err(XmlError::CyclicTopology { at: idx });
+            }
+        }
+        // The parent chain must reach a root in at most n steps.
+        let mut cursor = obj.parent;
+        let mut steps = 0usize;
+        while let Some(p) = cursor {
+            steps += 1;
+            if steps > n {
+                return Err(XmlError::CyclicTopology { at: idx });
+            }
+            cursor = objs[p].parent;
+        }
+    }
+    Ok(())
+}
+
 /// Parses `lstopo --of xml` output into a [`Machine`].
 pub fn parse_hwloc_xml(xml: &str) -> Result<Machine, XmlError> {
     let root = parse_xml(xml)?;
@@ -408,6 +474,7 @@ pub fn parse_hwloc_xml(xml: &str) -> Result<Machine, XmlError> {
     if conv.cores.is_empty() {
         return Err(XmlError::NoCores);
     }
+    validate_object_tree(&conv.objs)?;
 
     // OS numbering: core_of_os_id[os] = core. Unknown ids fall back to
     // topology order.

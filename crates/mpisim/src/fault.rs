@@ -64,6 +64,22 @@ impl RetryPolicy {
     pub fn backoff(&self, attempt: u32) -> Duration {
         self.backoff_base * 1u32.checked_shl(attempt.saturating_sub(1)).unwrap_or(64).min(64)
     }
+
+    /// Jittered backoff: the exponential schedule of [`Self::backoff`] plus
+    /// a deterministic 0–50% spread derived from `(seed, rank, attempt)`.
+    /// Ranks that fail the same pull at the same instant would otherwise
+    /// retry in lockstep and collide again on every round; the per-rank
+    /// spread de-synchronizes them while staying bit-reproducible for a
+    /// given plan seed.
+    pub fn backoff_jittered(&self, seed: u64, rank: Rank, attempt: u32) -> Duration {
+        let base = self.backoff(attempt);
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ (rank as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ (attempt as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9),
+        );
+        let spread = base.as_nanos() as u64 / 2;
+        base + Duration::from_nanos(spread * rng.gen_range(0..1024) as u64 / 1024)
+    }
 }
 
 /// A seed-driven plan of executor-level faults.
@@ -74,6 +90,7 @@ pub struct ExecFaultPlan {
     stalled: Vec<(Rank, Duration)>,
     crashed: Vec<(Rank, u64)>,
     drop_notifies: Vec<u64>,
+    flapped: Vec<(Rank, Duration, u64)>,
 }
 
 impl ExecFaultPlan {
@@ -108,6 +125,51 @@ impl ExecFaultPlan {
         plan
     }
 
+    /// A harsher randomized plan: `1..=max_crashes` distinct ranks crash
+    /// with *mid-collective* budgets (1–3 completed operations each, so the
+    /// victim participates before dying), one rank stalls, and — when the
+    /// rank count allows — one rank *flaps*: it stalls before every
+    /// operation and then crashes, presenting first as a `Suspect` and only
+    /// later as `Confirmed` to the failure detector. Reproducible for a
+    /// given `(seed, num_ranks, max_crashes, exclude)`.
+    pub fn seeded_cascade(
+        seed: u64,
+        num_ranks: usize,
+        max_crashes: usize,
+        exclude: &[Rank],
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x94d0_49bb_1331_11eb);
+        let mut plan = ExecFaultPlan::new(seed);
+        let mut candidates: Vec<Rank> =
+            (0..num_ranks).filter(|r| !exclude.contains(r)).collect();
+        if candidates.is_empty() {
+            return plan;
+        }
+        let crashes = 1 + rng.gen_range(0..max_crashes.max(1));
+        for _ in 0..crashes {
+            if candidates.len() <= 1 {
+                // Always leave at least one non-excluded survivor so the
+                // run can degrade rather than be vacuously dead.
+                break;
+            }
+            let victim = candidates.remove(rng.gen_range(0..candidates.len()));
+            let after = 1 + rng.gen_range(0..3) as u64;
+            plan = plan.crash_rank(victim, after);
+        }
+        if candidates.len() > 1 {
+            let slow = candidates[rng.gen_range(0..candidates.len())];
+            let micros = 50 * (1 + rng.gen_range(0..10) as u64);
+            plan = plan.stall_rank(slow, Duration::from_micros(micros));
+        }
+        if candidates.len() > 2 && rng.gen_range(0..2) == 1 {
+            let flapper = candidates[rng.gen_range(0..candidates.len())];
+            let micros = 20 * (1 + rng.gen_range(0..5) as u64);
+            let budget = 2 + rng.gen_range(0..4) as u64;
+            plan = plan.flap_rank(flapper, Duration::from_micros(micros), budget);
+        }
+        plan
+    }
+
     /// Rank `rank` sleeps `delay` before its first operation.
     pub fn stall_rank(mut self, rank: Rank, delay: Duration) -> Self {
         self.stalled.push((rank, delay));
@@ -126,6 +188,22 @@ impl ExecFaultPlan {
     pub fn drop_notify(mut self, nth: u64) -> Self {
         self.drop_notifies.push(nth);
         self
+    }
+
+    /// Rank `rank` *flaps*: it sleeps `delay` before every operation
+    /// (looking merely slow — a `Suspect`) and crashes for good once it has
+    /// completed `after_ops` operations. The crash-then-stall alternation
+    /// exercises the detector's suspect→refute→confirm transitions.
+    pub fn flap_rank(mut self, rank: Rank, delay: Duration, after_ops: u64) -> Self {
+        self.flapped.push((rank, delay, after_ops));
+        self.crashed.push((rank, after_ops));
+        self
+    }
+
+    /// Per-operation stall for a flapping `rank` (zero when it doesn't
+    /// flap).
+    pub fn flap_of(&self, rank: Rank) -> Duration {
+        self.flapped.iter().filter(|(r, _, _)| *r == rank).map(|(_, d, _)| *d).sum()
     }
 
     /// Total stall for `rank` (zero when unaffected).
@@ -191,6 +269,71 @@ mod tests {
         assert_eq!(p.backoff(2), Duration::from_micros(100));
         assert_eq!(p.backoff(3), Duration::from_micros(200));
         assert_eq!(p.backoff(40), Duration::from_micros(50 * 64), "capped");
+    }
+
+    #[test]
+    fn jittered_backoff_is_distinct_per_rank_but_reproducible() {
+        let p = RetryPolicy::chaos();
+        let seed = 42;
+        // Same (seed, rank, attempt) → same delay: replays are exact.
+        for rank in 0..8 {
+            for attempt in 1..=3 {
+                assert_eq!(
+                    p.backoff_jittered(seed, rank, attempt),
+                    p.backoff_jittered(seed, rank, attempt)
+                );
+            }
+        }
+        // Distinct ranks draw distinct backoff *sequences* from the same
+        // plan seed, so concurrent retries don't resynchronize in lockstep.
+        let sequences: Vec<Vec<Duration>> = (0..8)
+            .map(|rank| (1..=4).map(|a| p.backoff_jittered(seed, rank, a)).collect())
+            .collect();
+        let distinct: std::collections::HashSet<&Vec<Duration>> = sequences.iter().collect();
+        assert!(
+            distinct.len() >= 7,
+            "8 ranks should produce (nearly) 8 distinct backoff sequences, got {}",
+            distinct.len()
+        );
+        // Jitter only ever lengthens the wait, bounded by 1.5× the base
+        // schedule — the exponential envelope is preserved.
+        for rank in 0..8 {
+            for attempt in 1..=4 {
+                let plain = p.backoff(attempt);
+                let jittered = p.backoff_jittered(seed, rank, attempt);
+                assert!(jittered >= plain);
+                assert!(jittered <= plain + plain / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_cascade_is_reproducible_and_multi_rank() {
+        let a = ExecFaultPlan::seeded_cascade(7, 8, 4, &[0]);
+        let b = ExecFaultPlan::seeded_cascade(7, 8, 4, &[0]);
+        assert_eq!(a, b, "cascade for seed 7 must be reproducible");
+        assert!(!a.crashed_ranks().contains(&0), "root is excluded");
+        assert!(a.has_lethal_fault());
+        // Across seeds, some plans crash more than one rank.
+        let multi = (0..50)
+            .filter(|s| ExecFaultPlan::seeded_cascade(*s, 8, 4, &[0]).crashed_ranks().len() > 1)
+            .count();
+        assert!(multi > 10, "cascades should frequently crash several ranks, got {multi}/50");
+        // And every plan leaves at least one non-excluded survivor.
+        for s in 0..50 {
+            let p = ExecFaultPlan::seeded_cascade(s, 8, 7, &[0]);
+            assert!(p.crashed_ranks().len() < 7, "seed {s} crashed every candidate");
+        }
+    }
+
+    #[test]
+    fn flap_rank_stalls_and_crashes() {
+        let p = ExecFaultPlan::new(5).flap_rank(2, Duration::from_micros(30), 3);
+        assert_eq!(p.flap_of(2), Duration::from_micros(30));
+        assert_eq!(p.flap_of(1), Duration::ZERO);
+        assert_eq!(p.crash_of(2), Some(3), "a flapping rank eventually dies");
+        assert!(p.has_lethal_fault());
+        assert!(!p.is_empty());
     }
 
     #[test]

@@ -23,13 +23,17 @@ use pdac_simnet::{BufId, Rank};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Cookie(u64);
 
-/// A registered memory region: a byte range of one rank's buffer.
+/// A registered memory region: a byte range of one rank's buffer, stamped
+/// with the communicator epoch it was registered under. The epoch fence
+/// refuses pulls from regions of a dead epoch — a straggler delivering into
+/// a rebuilt topology is rejected, not silently served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Region {
     rank: Rank,
     buf: BufId,
     offset: usize,
     len: usize,
+    epoch: u64,
 }
 
 /// KNEM API failures.
@@ -48,6 +52,16 @@ pub enum KnemError {
         /// Registered region length.
         region_len: usize,
     },
+    /// The operation carries an epoch the device has fenced off: the
+    /// membership layer agreed on a new `(epoch, survivor_set)` and this
+    /// message predates it. Stale deliveries are rejected, never served
+    /// into the rebuilt topology.
+    StaleEpoch {
+        /// Epoch the operation was stamped with.
+        epoch: u64,
+        /// The lowest epoch the device still accepts.
+        fence: u64,
+    },
 }
 
 impl std::fmt::Display for KnemError {
@@ -58,6 +72,10 @@ impl std::fmt::Display for KnemError {
                 f,
                 "KNEM copy {offset}..{} exceeds region of {region_len} bytes for {cookie:?}",
                 offset + len
+            ),
+            KnemError::StaleEpoch { epoch, fence } => write!(
+                f,
+                "stale-epoch message rejected: epoch {epoch} is behind the fence at {fence}"
             ),
         }
     }
@@ -80,6 +98,9 @@ pub struct KnemStats {
     /// the sharded table this counts per-shard acquisitions; concurrent
     /// ranks holding different cookies no longer serialize on one lock.
     pub lock_acquires: u64,
+    /// Stale-epoch operations the device refused (registrations or pulls
+    /// stamped with an epoch behind the fence).
+    pub fenced: u64,
 }
 
 impl KnemStats {
@@ -93,6 +114,7 @@ impl KnemStats {
         registry.add("knem.copies", self.copies);
         registry.add("knem.bytes_copied", self.bytes_copied);
         registry.add("knem.lock_acquires", self.lock_acquires);
+        registry.add("knem.fenced", self.fenced);
     }
 }
 
@@ -152,6 +174,12 @@ pub struct KnemDevice {
     bytes_copied: AtomicU64,
     lock_acquires: AtomicU64,
     injected_failures: AtomicU64,
+    /// Lowest epoch the device still accepts. Raised by the membership
+    /// layer when the survivors agree on a new `(epoch, survivor_set)`;
+    /// operations stamped below it are rejected with
+    /// [`KnemError::StaleEpoch`].
+    epoch_fence: AtomicU64,
+    fenced: AtomicU64,
     fault: Option<FaultPlan>,
 }
 
@@ -173,19 +201,80 @@ impl KnemDevice {
         &self.shards[(id as usize) % COOKIE_SHARDS]
     }
 
-    /// Registers `len` bytes at `offset` of `(rank, buf)`; returns the
-    /// cookie a peer needs to pull from the region.
+    /// Registers `len` bytes at `offset` of `(rank, buf)` under the current
+    /// fence epoch (never stale); returns the cookie a peer needs to pull
+    /// from the region.
     pub fn register(&self, rank: Rank, buf: BufId, offset: usize, len: usize) -> Cookie {
+        self.register_epoch(rank, buf, offset, len, self.epoch_fence())
+            .expect("the fence epoch itself is never stale")
+    }
+
+    /// Registers a region stamped with `epoch` — the communicator epoch the
+    /// registering run executes under. Rejected (and counted as fenced)
+    /// when `epoch` is already behind the fence: a straggler from a dead
+    /// epoch must not publish regions into the rebuilt topology.
+    pub fn register_epoch(
+        &self,
+        rank: Rank,
+        buf: BufId,
+        offset: usize,
+        len: usize,
+        epoch: u64,
+    ) -> Result<Cookie, KnemError> {
+        self.check_epoch(rank, epoch)?;
         let id = self.next.fetch_add(1, Ordering::Relaxed);
-        self.shard(id).lock().insert(id, Region { rank, buf, offset, len });
+        self.shard(id).lock().insert(id, Region { rank, buf, offset, len, epoch });
         self.registrations.fetch_add(1, Ordering::Relaxed);
         pdac_telemetry::global().recorder().instant(
             rank as u64,
             "knem",
             || format!("knem_register #{id}"),
-            || vec![("cookie", id.into()), ("len", len.into())],
+            || vec![("cookie", id.into()), ("len", len.into()), ("epoch", epoch.into())],
         );
-        Cookie(id)
+        Ok(Cookie(id))
+    }
+
+    /// The lowest epoch the device still accepts.
+    pub fn epoch_fence(&self) -> u64 {
+        self.epoch_fence.load(Ordering::Acquire)
+    }
+
+    /// Raises the fence to `min_valid_epoch` (it never lowers): every
+    /// registered region and in-flight operation stamped below it is dead —
+    /// later pulls are rejected with [`KnemError::StaleEpoch`] instead of
+    /// delivering stale bytes into the rebuilt topology.
+    pub fn fence_epochs_below(&self, min_valid_epoch: u64) {
+        let prev = self.epoch_fence.fetch_max(min_valid_epoch, Ordering::AcqRel);
+        if prev < min_valid_epoch {
+            pdac_telemetry::global().recorder().instant(
+                0,
+                "knem",
+                || format!("epoch fence raised to {min_valid_epoch}"),
+                || vec![("fence", min_valid_epoch.into())],
+            );
+        }
+    }
+
+    /// Stale-epoch operations rejected so far.
+    pub fn fenced_messages(&self) -> u64 {
+        self.fenced.load(Ordering::Relaxed)
+    }
+
+    /// Rejects `epoch` when it is behind the fence, accounting for the
+    /// rejection.
+    fn check_epoch(&self, rank: Rank, epoch: u64) -> Result<(), KnemError> {
+        let fence = self.epoch_fence();
+        if epoch < fence {
+            self.fenced.fetch_add(1, Ordering::Relaxed);
+            pdac_telemetry::global().recorder().instant(
+                rank as u64,
+                "knem",
+                || format!("fenced stale-epoch message (epoch {epoch} < fence {fence})"),
+                || vec![("epoch", epoch.into()), ("fence", fence.into())],
+            );
+            return Err(KnemError::StaleEpoch { epoch, fence });
+        }
+        Ok(())
     }
 
     /// Validates a single-copy of `len` bytes starting `offset` bytes into
@@ -203,6 +292,7 @@ impl KnemDevice {
             .get(&cookie.0)
             .copied()
             .ok_or(KnemError::BadCookie(cookie))?;
+        self.check_epoch(region.rank, region.epoch)?;
         if offset + len > region.len {
             return Err(KnemError::OutOfRegion { cookie, offset, len, region_len: region.len });
         }
@@ -247,6 +337,7 @@ impl KnemDevice {
             copies: self.copies.load(Ordering::Relaxed),
             bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
             lock_acquires: self.lock_acquires.load(Ordering::Relaxed),
+            fenced: self.fenced.load(Ordering::Relaxed),
         }
     }
 
@@ -349,6 +440,39 @@ mod tests {
             assert!(dev.copy_from(c, 0, 8).is_err());
         }
         assert_eq!(dev.injected_failures(), 10);
+    }
+
+    #[test]
+    fn fence_rejects_stale_epoch_pulls_and_registrations() {
+        let dev = KnemDevice::new();
+        let old = dev.register_epoch(0, BufId::Send, 0, 64, 3).unwrap();
+        assert!(dev.copy_from(old, 0, 8).is_ok());
+        dev.fence_epochs_below(5);
+        // The straggler's cookie predates the fence: every pull is rejected.
+        assert_eq!(dev.copy_from(old, 0, 8), Err(KnemError::StaleEpoch { epoch: 3, fence: 5 }));
+        // And a straggler cannot publish new regions under the dead epoch.
+        assert_eq!(
+            dev.register_epoch(1, BufId::Send, 0, 8, 4),
+            Err(KnemError::StaleEpoch { epoch: 4, fence: 5 })
+        );
+        // Current-epoch traffic is unaffected.
+        let fresh = dev.register_epoch(1, BufId::Send, 0, 8, 5).unwrap();
+        assert!(dev.copy_from(fresh, 0, 8).is_ok());
+        assert_eq!(dev.fenced_messages(), 2);
+        assert_eq!(dev.stats().fenced, 2);
+    }
+
+    #[test]
+    fn fence_is_monotone() {
+        let dev = KnemDevice::new();
+        dev.fence_epochs_below(7);
+        dev.fence_epochs_below(4); // lowering is a no-op
+        assert_eq!(dev.epoch_fence(), 7);
+        dev.fence_epochs_below(9);
+        assert_eq!(dev.epoch_fence(), 9);
+        // Plain register stamps the current fence epoch, so it always works.
+        let c = dev.register(0, BufId::Send, 0, 8);
+        assert!(dev.copy_from(c, 0, 8).is_ok());
     }
 
     #[test]

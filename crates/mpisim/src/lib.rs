@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod comm;
+pub mod detector;
 pub mod fault;
 pub mod knem;
 pub mod p2p;
@@ -27,6 +28,7 @@ pub mod p2p_tuning;
 pub mod thread_exec;
 
 pub use comm::Communicator;
+pub use detector::{DetectorCounters, FailureDetector, RankState};
 pub use fault::{ExecFaultPlan, RetryPolicy};
 pub use knem::{Cookie, KnemDevice, KnemError, KnemStats};
 pub use p2p::{P2pConfig, SendOps};

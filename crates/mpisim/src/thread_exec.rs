@@ -18,6 +18,7 @@ use pdac_hwtopo::{DistanceMatrix, DIST_MAX_EXTENDED};
 use pdac_simnet::{BufId, DataOp, FaultStats, Mech, OpKind, Rank, Schedule, ScheduleError};
 use pdac_telemetry::LogHistogram;
 
+use crate::detector::FailureDetector;
 use crate::fault::{ExecFaultPlan, RetryPolicy};
 use crate::knem::{KnemDevice, KnemError, KnemStats};
 
@@ -56,6 +57,22 @@ pub enum ExecError {
         /// Fault seed of the run, when a plan was attached.
         seed: Option<u64>,
     },
+    /// The run executes under an epoch the KNEM device has already fenced
+    /// off — the membership layer agreed on a newer `(epoch, survivor_set)`
+    /// while this straggler was still in flight. Not retried: a fenced
+    /// epoch never becomes valid again.
+    StaleEpoch {
+        /// Rank whose operation was fenced.
+        rank: Rank,
+        /// Schedule-wide id of the fenced operation.
+        op: usize,
+        /// Epoch the run was stamped with.
+        epoch: u64,
+        /// The device's minimum accepted epoch.
+        fence: u64,
+        /// Fault seed of the run, when a plan was attached.
+        seed: Option<u64>,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -83,6 +100,22 @@ impl std::fmt::Display for ExecError {
                 write!(
                     f,
                     "rank {rank} op {op} timed out after {waited:?} (deadline {deadline:?})"
+                )?;
+                if let Some(s) = seed {
+                    write!(f, " (fault seed {s})")?;
+                }
+                Ok(())
+            }
+            ExecError::StaleEpoch {
+                rank,
+                op,
+                epoch,
+                fence,
+                seed,
+            } => {
+                write!(
+                    f,
+                    "rank {rank} op {op} fenced: run epoch {epoch} is behind the fence at {fence}"
                 )?;
                 if let Some(s) = seed {
                     write!(f, " (fault seed {s})")?;
@@ -148,6 +181,13 @@ pub struct ThreadExecutor {
     /// latency metrics with the paper's distance classes. Without it every
     /// operation lands in class 0.
     distances: Option<Arc<DistanceMatrix>>,
+    /// Failure detector shared with peers of a recovery episode; op
+    /// completions become heartbeats, overlong dependency waits raise
+    /// suspicion, and the join audit confirms crashes.
+    detector: Option<Arc<FailureDetector>>,
+    /// Communicator epoch the run executes under; stamped on every KNEM
+    /// registration so a fenced device can reject stale stragglers.
+    epoch: u64,
 }
 
 /// Why a dependency wait returned without the dependency completing.
@@ -156,6 +196,18 @@ enum WaitFail {
     Poisoned,
     /// The deadline elapsed; payload is the time actually waited.
     TimedOut(Duration),
+}
+
+/// Observable record of one executor thread's exit, fed to the failure
+/// detector's join audit: a thread that exited on its own (`unwound ==
+/// false`) with `completed < assigned` crashed — that is how a silent death
+/// looks from outside, no fault-plan knowledge required.
+struct RankExit {
+    /// Operations this rank completed before exiting.
+    completed: usize,
+    /// Whether the exit was a quiet unwind after another rank poisoned the
+    /// run (leftover work is then not evidence of a crash).
+    unwound: bool,
 }
 
 struct Sync_ {
@@ -324,6 +376,26 @@ impl ThreadExecutor {
         self
     }
 
+    /// Attaches a failure detector. Completions double as heartbeats, a
+    /// dependency wait that outlasts the detector's suspicion window raises
+    /// `Suspect` against the dependency's owner (refuted if the dependency
+    /// later lands), and the end-of-run join audit confirms ranks that
+    /// exited with work still assigned.
+    pub fn with_detector(mut self, detector: Arc<FailureDetector>) -> Self {
+        self.detector = Some(detector);
+        self
+    }
+
+    /// Stamps the run with a communicator epoch: every KNEM registration
+    /// carries it, so once the membership layer fences the device at a
+    /// newer epoch, stragglers from this run are rejected with
+    /// [`ExecError::StaleEpoch`] instead of delivering into the rebuilt
+    /// topology.
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
     /// Validates and runs `schedule`. Send buffers are initialized by
     /// `init_send(rank, size)`; receive and temporary buffers start zeroed.
     pub fn run(
@@ -403,6 +475,7 @@ impl ThreadExecutor {
         // device is not double-counted across runs.
         let histograms = Arc::new(OpHistograms::resolve(telemetry.registry()));
         let knem_before = knem.stats();
+        let detector_before = self.detector.as_ref().map(|d| d.counters());
 
         let mut first_error: Option<ExecError> = None;
         crossbeam::thread::scope(|scope| {
@@ -415,14 +488,21 @@ impl ThreadExecutor {
                 let counters = Arc::clone(&counters);
                 let histograms = Arc::clone(&histograms);
                 let distances = self.distances.clone();
+                let detector = self.detector.clone();
+                let epoch = self.epoch;
                 let policy = self.policy;
                 let stall = self
                     .faults
                     .as_ref()
                     .map(|p| p.stall_of(rank))
                     .unwrap_or_default();
+                let flap = self
+                    .faults
+                    .as_ref()
+                    .map(|p| p.flap_of(rank))
+                    .unwrap_or_default();
                 let crash_after = self.faults.as_ref().and_then(|p| p.crash_of(rank));
-                let handle = scope.spawn(move |_| -> Result<(), ExecError> {
+                let handle = scope.spawn(move |_| -> Result<RankExit, ExecError> {
                     if !stall.is_zero() {
                         counters.stalled.fetch_add(1, Ordering::Relaxed);
                         std::thread::sleep(stall);
@@ -437,15 +517,54 @@ impl ThreadExecutor {
                                 counters
                                     .abandoned
                                     .fetch_add((ops.len() - i) as u64, Ordering::Relaxed);
-                                return Ok(());
+                                return Ok(RankExit { completed: i, unwound: false });
                             }
                         }
+                        if !flap.is_zero() {
+                            // A flapping rank stalls before *every* op: to
+                            // its peers it looks dead, then completes the
+                            // op after all — Suspect raised, then refuted,
+                            // until the crash budget finally fires.
+                            std::thread::sleep(flap);
+                        }
                         for &dep in &schedule.ops[id].deps {
-                            match sync.wait(dep, deadline) {
+                            let wait_res = match &detector {
+                                // With a detector attached, the wait is
+                                // split at the suspicion window: silence
+                                // past it raises Suspect against the
+                                // dependency's owner, but the rank keeps
+                                // waiting until the real deadline — a late
+                                // completion refutes the suspicion.
+                                Some(det)
+                                    if deadline.is_none_or(|d| det.suspect_after() < d) =>
+                                {
+                                    match sync.wait(dep, Some(det.suspect_after())) {
+                                        Err(WaitFail::TimedOut(waited)) => {
+                                            let owner = schedule.ops[dep].kind.executor();
+                                            det.suspect(owner, rank);
+                                            let rest =
+                                                deadline.map(|d| d.saturating_sub(waited));
+                                            match sync.wait(dep, rest) {
+                                                Ok(()) => {
+                                                    det.heartbeat(owner);
+                                                    Ok(())
+                                                }
+                                                Err(WaitFail::TimedOut(more)) => {
+                                                    Err(WaitFail::TimedOut(waited + more))
+                                                }
+                                                Err(other) => Err(other),
+                                            }
+                                        }
+                                        other => other,
+                                    }
+                                }
+                                _ => sync.wait(dep, deadline),
+                            };
+                            match wait_res {
                                 Ok(()) => {}
                                 Err(WaitFail::Poisoned) => {
                                     // Another rank failed; unwind quietly.
-                                    return Ok(());
+                                    return Ok(RankExit { completed: i, unwound: true });
                                 }
                                 Err(WaitFail::TimedOut(waited)) => {
                                     counters.timeouts.fetch_add(1, Ordering::Relaxed);
@@ -510,12 +629,31 @@ impl ThreadExecutor {
                         let op_started = Instant::now();
                         let mut attempts = 0u32;
                         loop {
-                            match execute_op(kind, &buffers, &knem) {
+                            match execute_op(kind, &buffers, &knem, epoch) {
                                 Ok(()) => break,
+                                Err(KnemError::StaleEpoch { epoch, fence }) => {
+                                    // Never retried: a fenced epoch does
+                                    // not become valid again.
+                                    sync.poison();
+                                    return Err(ExecError::StaleEpoch {
+                                        rank,
+                                        op: id,
+                                        epoch,
+                                        fence,
+                                        seed,
+                                    });
+                                }
                                 Err(_) if attempts < policy.max_retries => {
                                     attempts += 1;
                                     counters.retries.fetch_add(1, Ordering::Relaxed);
-                                    let backoff = policy.backoff(attempts);
+                                    // Jitter (seeded, per-rank) keeps ranks
+                                    // that failed together from retrying in
+                                    // lockstep; without a plan seed the
+                                    // plain exponential schedule applies.
+                                    let backoff = match seed {
+                                        Some(s) => policy.backoff_jittered(s, rank, attempts),
+                                        None => policy.backoff(attempts),
+                                    };
                                     counters
                                         .backoff_ns
                                         .fetch_add(backoff.as_nanos() as u64, Ordering::Relaxed);
@@ -548,19 +686,34 @@ impl ThreadExecutor {
                         drop(op_span);
                         if drop_ops.contains(&id) {
                             // The operation ran but its completion is never
-                            // published — a lost notification.
+                            // published — a lost notification, so no
+                            // heartbeat either: peers cannot tell this
+                            // apart from silence.
                             counters.dropped.fetch_add(1, Ordering::Relaxed);
                             continue;
                         }
                         sync.complete(id);
+                        if let Some(det) = &detector {
+                            // The published completion doubles as a
+                            // heartbeat — liveness piggybacked on traffic.
+                            det.heartbeat(rank);
+                        }
                     }
-                    Ok(())
+                    Ok(RankExit { completed: ops.len(), unwound: false })
                 });
-                handles.push(handle);
+                handles.push((handle, rank, ops.len()));
             }
-            for h in handles {
+            for (h, rank, assigned) in handles {
                 match h.join() {
-                    Ok(Ok(())) => {}
+                    Ok(Ok(exit)) => {
+                        if let Some(det) = &self.detector {
+                            // Join audit: a voluntary exit with work still
+                            // assigned is the observable proof of a crash;
+                            // a full completion record is a final
+                            // heartbeat.
+                            det.observe_exit(rank, exit.completed, assigned, exit.unwound);
+                        }
+                    }
                     Ok(Err(e)) => {
                         first_error.get_or_insert(e);
                     }
@@ -576,7 +729,16 @@ impl ThreadExecutor {
 
         let buffers = Arc::try_unwrap(buffers).expect("threads joined");
         let knem_stats = knem.stats();
-        let fault_stats = counters.snapshot();
+        let mut fault_stats = counters.snapshot();
+        if let (Some(det), Some(before)) = (&self.detector, detector_before) {
+            // The detector outlives the run (a recovery episode shares one
+            // across attempts); the run's stats report only its delta.
+            let d = det.counters().delta_since(&before);
+            fault_stats.suspects_raised = d.suspects_raised;
+            fault_stats.suspects_refuted = d.suspects_refuted;
+            fault_stats.ranks_confirmed_dead = d.ranks_confirmed_dead;
+        }
+        fault_stats.fenced_messages = knem_stats.fenced - knem_before.fenced;
 
         // Fold this run's accounting into the process-wide registry. KNEM
         // counters publish the run's delta (a shared device's lifetime
@@ -590,6 +752,7 @@ impl ThreadExecutor {
             copies: knem_stats.copies - knem_before.copies,
             bytes_copied: knem_stats.bytes_copied - knem_before.bytes_copied,
             lock_acquires: knem_stats.lock_acquires - knem_before.lock_acquires,
+            fenced: knem_stats.fenced - knem_before.fenced,
         }
         .publish(registry);
         fault_stats.publish(registry);
@@ -655,6 +818,7 @@ fn execute_op(
     kind: &OpKind,
     buffers: &HashMap<(Rank, BufId), RwLock<Vec<u8>>>,
     knem: &KnemDevice,
+    epoch: u64,
 ) -> Result<(), KnemError> {
     let &OpKind::Copy {
         src_rank,
@@ -676,7 +840,7 @@ fn execute_op(
     // device validates the region and returns the absolute source location.
     let (src_rank, src_buf, src_off) = match mech {
         Mech::Knem => {
-            let cookie = knem.register(src_rank, src_buf, src_off, bytes);
+            let cookie = knem.register_epoch(src_rank, src_buf, src_off, bytes, epoch)?;
             let loc = knem.copy_from(cookie, 0, bytes)?;
             knem.deregister(cookie)
                 .expect("cookie registered just above");
@@ -1191,6 +1355,209 @@ mod tests {
             .unwrap();
         assert_eq!(res.buffer(1, BufId::Recv), &pattern(0, 256)[..]);
         assert_eq!(res.fault_stats.ranks_stalled, 1);
+    }
+
+    #[test]
+    fn detector_suspects_then_refutes_a_stalled_rank() {
+        use crate::detector::{FailureDetector, RankState};
+        use crate::fault::{ExecFaultPlan, RetryPolicy};
+        let mut b = ScheduleBuilder::new("t", 2);
+        b.copy(
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            64,
+            Mech::Memcpy,
+            1,
+            vec![],
+        );
+        let n = b.notify(1, 0, vec![0]);
+        b.copy(
+            (0, BufId::Send, 0),
+            (0, BufId::Recv, 0),
+            64,
+            Mech::Memcpy,
+            0,
+            vec![n],
+        );
+        // Rank 1 stalls well past the 5 ms suspicion window but well under
+        // the 500 ms deadline: rank 0 suspects it, then the completed
+        // notify refutes the suspicion.
+        let det = std::sync::Arc::new(FailureDetector::with_suspect_after(
+            2,
+            Duration::from_millis(5),
+        ));
+        let res = ThreadExecutor::new()
+            .with_policy(RetryPolicy {
+                op_deadline: Some(Duration::from_millis(500)),
+                ..RetryPolicy::chaos()
+            })
+            .with_faults(ExecFaultPlan::new(41).stall_rank(1, Duration::from_millis(40)))
+            .with_detector(std::sync::Arc::clone(&det))
+            .run(&b.finish(), pattern)
+            .unwrap();
+        assert_eq!(det.state(1), RankState::Alive, "stall is not death");
+        let c = det.counters();
+        assert!(c.suspects_raised >= 1, "the stall crossed the suspicion window");
+        assert_eq!(c.suspects_raised, c.suspects_refuted, "every suspicion was refuted");
+        assert_eq!(c.ranks_confirmed_dead, 0);
+        assert_eq!(res.fault_stats.suspects_raised, c.suspects_raised);
+        assert_eq!(res.fault_stats.suspects_refuted, c.suspects_refuted);
+    }
+
+    #[test]
+    fn detector_confirms_a_crashed_rank_via_join_audit() {
+        use crate::detector::{FailureDetector, RankState};
+        use crate::fault::{ExecFaultPlan, RetryPolicy};
+        let mut b = ScheduleBuilder::new("t", 3);
+        let a = b.copy(
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            64,
+            Mech::Memcpy,
+            1,
+            vec![],
+        );
+        b.copy(
+            (1, BufId::Recv, 0),
+            (2, BufId::Recv, 0),
+            64,
+            Mech::Memcpy,
+            2,
+            vec![a],
+        );
+        let det = std::sync::Arc::new(FailureDetector::with_suspect_after(
+            3,
+            Duration::from_millis(5),
+        ));
+        let err = ThreadExecutor::new()
+            .with_policy(RetryPolicy {
+                op_deadline: Some(Duration::from_millis(50)),
+                ..RetryPolicy::chaos()
+            })
+            .with_faults(ExecFaultPlan::new(43).crash_rank(1, 0))
+            .with_detector(std::sync::Arc::clone(&det))
+            .run(&b.finish(), pattern)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Timeout { .. }));
+        // The wait on rank 1's op raised Suspect; the join audit (rank 1
+        // exited voluntarily with its op unexecuted) confirmed the death.
+        assert_eq!(det.state(1), RankState::Confirmed);
+        assert_eq!(det.confirmed(), vec![1]);
+        assert_eq!(det.state(0), RankState::Alive);
+        assert_eq!(det.state(2), RankState::Alive);
+        let c = det.counters();
+        // The join audit may confirm the death before the waiter's
+        // suspicion window even elapses (suspect on a Confirmed rank is a
+        // no-op), so suspicion is possible but not guaranteed; the
+        // confirmation is.
+        assert!(c.suspects_raised <= 1);
+        assert_eq!(c.ranks_confirmed_dead, 1);
+    }
+
+    #[test]
+    fn flapping_rank_is_suspected_refuted_then_confirmed() {
+        use crate::detector::{FailureDetector, RankState};
+        use crate::fault::{ExecFaultPlan, RetryPolicy};
+        // A 3-op relay chain through rank 1: the flapper stalls before each
+        // op (Suspect → refute on completion), completes 2, then dies on
+        // the third (Suspect → Confirmed via join audit).
+        let mut b = ScheduleBuilder::new("t", 2);
+        let mut prev = Vec::new();
+        for i in 0..3 {
+            let a = b.copy(
+                (0, BufId::Send, 64 * i),
+                (1, BufId::Recv, 64 * i),
+                64,
+                Mech::Memcpy,
+                1,
+                prev.clone(),
+            );
+            let n = b.notify(1, 0, vec![a]);
+            prev = vec![n];
+        }
+        b.copy(
+            (0, BufId::Send, 0),
+            (0, BufId::Recv, 0),
+            64,
+            Mech::Memcpy,
+            0,
+            prev,
+        );
+        let det = std::sync::Arc::new(FailureDetector::with_suspect_after(
+            2,
+            Duration::from_millis(5),
+        ));
+        let err = ThreadExecutor::new()
+            .with_policy(RetryPolicy {
+                op_deadline: Some(Duration::from_millis(100)),
+                ..RetryPolicy::chaos()
+            })
+            .with_faults(ExecFaultPlan::new(47).flap_rank(
+                1,
+                Duration::from_millis(20),
+                4,
+            ))
+            .with_detector(std::sync::Arc::clone(&det))
+            .run(&b.finish(), pattern)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Timeout { .. }));
+        assert_eq!(det.state(1), RankState::Confirmed, "the flapper finally died");
+        let c = det.counters();
+        assert!(
+            c.suspects_refuted >= 1,
+            "at least one flap was refuted before the crash (raised {}, refuted {})",
+            c.suspects_raised,
+            c.suspects_refuted
+        );
+        assert_eq!(c.ranks_confirmed_dead, 1);
+    }
+
+    #[test]
+    fn stale_epoch_run_is_fenced_not_retried() {
+        use crate::fault::RetryPolicy;
+        let device = std::sync::Arc::new(KnemDevice::new());
+        device.fence_epochs_below(7);
+        let mut b = ScheduleBuilder::new("t", 2);
+        b.copy(
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            64,
+            Mech::Knem,
+            1,
+            vec![],
+        );
+        // A straggler still executing under epoch 3 after the membership
+        // layer fenced everything below 7: typed rejection, zero retries
+        // burned, the fenced message accounted.
+        let err = ThreadExecutor::with_device(std::sync::Arc::clone(&device))
+            .with_policy(RetryPolicy::chaos())
+            .with_epoch(3)
+            .run(&b.finish(), pattern)
+            .unwrap_err();
+        match err {
+            ExecError::StaleEpoch { epoch, fence, .. } => {
+                assert_eq!(epoch, 3);
+                assert_eq!(fence, 7);
+            }
+            other => panic!("expected StaleEpoch, got {other}"),
+        }
+        assert_eq!(device.fenced_messages(), 1);
+        // A current-epoch run on the same device sails through.
+        let mut b2 = ScheduleBuilder::new("t", 2);
+        b2.copy(
+            (0, BufId::Send, 0),
+            (1, BufId::Recv, 0),
+            64,
+            Mech::Knem,
+            1,
+            vec![],
+        );
+        let res = ThreadExecutor::with_device(device)
+            .with_epoch(7)
+            .run(&b2.finish(), pattern)
+            .unwrap();
+        assert_eq!(res.fault_stats.fenced_messages, 0);
+        assert_eq!(res.buffer(1, BufId::Recv), &pattern(0, 64)[..]);
     }
 
     #[test]

@@ -126,6 +126,10 @@ struct FaultState {
     degrade: HashMap<Resource, f64>,
     /// Extra per-operation latency per executor.
     stall: Vec<f64>,
+    /// Flapping executors: `(delay, period_ops)` — the extra latency is
+    /// applied only during the odd `period_ops`-wide windows of the rank's
+    /// own operation sequence.
+    flap: Vec<Option<(f64, u64)>>,
     /// Ops an executor starts before dying.
     crash_after: Vec<Option<u64>>,
     crashed: Vec<bool>,
@@ -141,6 +145,7 @@ impl FaultState {
         let mut fs = FaultState {
             degrade: HashMap::new(),
             stall: vec![0.0; nranks],
+            flap: vec![None; nranks],
             crash_after: vec![None; nranks],
             crashed: vec![false; nranks],
             ops_started: vec![0; nranks],
@@ -167,8 +172,12 @@ impl FaultState {
                 Fault::DropNotify { nth } => {
                     fs.drop_nth.insert(nth);
                 }
+                Fault::FlapRank { rank, delay, period_ops } if rank < nranks => {
+                    fs.flap[rank] = Some((delay, period_ops.max(1)));
+                    fs.stats.ranks_stalled += 1;
+                }
                 // Faults addressing ranks outside this schedule are inert.
-                Fault::StallRank { .. } | Fault::CrashRank { .. } => {}
+                Fault::StallRank { .. } | Fault::CrashRank { .. } | Fault::FlapRank { .. } => {}
             }
         }
         fs
@@ -188,6 +197,21 @@ impl FaultState {
         }
         self.ops_started[rank] += 1;
         false
+    }
+
+    /// Extra latency `rank`'s next operation pays: the constant stall plus
+    /// the flap delay when the rank's own op counter sits in an odd
+    /// (stalled) window. Called after [`Self::note_op_start`], so the
+    /// counter is 1-based here.
+    fn stall_for(&self, rank: usize) -> f64 {
+        let mut s = self.stall[rank];
+        if let Some((delay, period)) = self.flap[rank] {
+            let window = self.ops_started[rank].saturating_sub(1) / period;
+            if window % 2 == 1 {
+                s += delay;
+            }
+        }
+        s
     }
 }
 
@@ -647,7 +671,7 @@ impl<'a> SimExecutor<'a> {
                         return;
                     }
                     started_at[id] = now;
-                    let lat = this.latency_of(&schedule.ops[id].kind) + fs.stall[from];
+                    let lat = this.latency_of(&schedule.ops[id].kind) + fs.stall_for(from);
                     timers.push(Reverse((Time(now + lat), id)));
                 }
             }
@@ -679,7 +703,7 @@ impl<'a> SimExecutor<'a> {
                         ready[r].remove(&id);
                         busy[r] = Some(id);
                         started_at[id] = now;
-                        let lat = this.latency_of(&schedule.ops[id].kind) + fs.stall[r];
+                        let lat = this.latency_of(&schedule.ops[id].kind) + fs.stall_for(r);
                         timers.push(Reverse((Time(now + lat), id)));
                     }
                 }
@@ -708,7 +732,7 @@ impl<'a> SimExecutor<'a> {
                         completed: done,
                         total: n,
                         at: now,
-                        fault_stats: fs.stats,
+                        fault_stats: Box::new(fs.stats),
                     });
                 }
             };
@@ -720,7 +744,7 @@ impl<'a> SimExecutor<'a> {
                         deadline,
                         completed: done,
                         total: n,
-                        fault_stats: fs.stats,
+                        fault_stats: Box::new(fs.stats),
                     });
                 }
             }

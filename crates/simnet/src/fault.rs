@@ -50,6 +50,19 @@ pub enum Fault {
         /// Zero-based index into the run's notification sequence.
         nth: u64,
     },
+    /// `rank` flaps: it alternates between healthy windows and stalled
+    /// windows of `period_ops` operations each (the shape a process that
+    /// keeps getting descheduled and rescheduled presents to a failure
+    /// detector — repeatedly suspected, repeatedly refuted).
+    FlapRank {
+        /// The flapping rank.
+        rank: usize,
+        /// Extra per-operation latency during stalled windows, seconds.
+        delay: f64,
+        /// Window length in operations (healthy for `period_ops` ops, then
+        /// stalled for `period_ops` ops, repeating).
+        period_ops: u64,
+    },
 }
 
 /// Capacity multipliers are floored here so a "partition" stays a finite
@@ -101,6 +114,29 @@ impl FaultPlan {
         plan.drop_notify(rng.gen_range(0..8) as u64)
     }
 
+    /// A harsher seed-derived plan for membership testing: everything
+    /// [`Self::seeded`] injects, plus a *cascade* of up to `max_crashes`
+    /// additional rank crashes with mid-collective budgets (a crash that
+    /// fires after the rank already forwarded data exercises detection on a
+    /// partially completed topology) and a flapping rank that alternates
+    /// healthy and stalled windows. Rank 0 is never crashed. The same
+    /// `(seed, num_ranks, max_crashes)` always yields the same plan.
+    pub fn seeded_cascade(seed: u64, num_ranks: usize, max_crashes: usize) -> Self {
+        let mut plan = Self::seeded(seed, num_ranks);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc3a5_c85c_97cb_3127);
+        if num_ranks > 3 {
+            let extra = rng.gen_range(0..max_crashes.max(1));
+            for _ in 0..extra {
+                let victim = 1 + rng.gen_range(0..num_ranks - 1);
+                // Mid-collective budget: the rank does real work first.
+                plan = plan.crash_rank(victim, 1 + rng.gen_range(0..6) as u64);
+            }
+            let flapper = 1 + rng.gen_range(0..num_ranks - 1);
+            plan = plan.flap_rank(flapper, 1e-5 + 1e-4 * rng.gen_f64(), 1 + rng.gen_range(0..3) as u64);
+        }
+        plan
+    }
+
     /// Adds a link-degrade fault; `factor` is clamped into
     /// `[MIN_DEGRADE_FACTOR, 1]`.
     pub fn degrade_link(mut self, resource: Resource, factor: f64) -> Self {
@@ -128,6 +164,16 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a flapping-rank fault: `rank` alternates healthy and stalled
+    /// windows of `period_ops` operations (`delay` extra seconds per op
+    /// while stalled).
+    pub fn flap_rank(mut self, rank: usize, delay: f64, period_ops: u64) -> Self {
+        assert!(delay >= 0.0, "flap delay must be non-negative");
+        assert!(period_ops > 0, "flap period must be positive");
+        self.faults.push(Fault::FlapRank { rank, delay, period_ops });
+        self
+    }
+
     /// The faults, in insertion order.
     pub fn faults(&self) -> &[Fault] {
         &self.faults
@@ -145,6 +191,22 @@ impl FaultPlan {
             Fault::CrashRank { rank, .. } => Some(*rank),
             _ => None,
         })
+    }
+
+    /// Every rank crashed by this plan, sorted and deduplicated (cascading
+    /// plans crash more than one).
+    pub fn crashed_ranks(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::CrashRank { rank, .. } => Some(*rank),
+                _ => None,
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
     }
 
     /// The rank stalled by this plan, if any.
@@ -181,6 +243,28 @@ pub struct FaultStats {
     pub timeouts: u64,
     /// Topology rebuilds performed by the recovery layer (epoch bumps).
     pub topology_rebuilds: u64,
+    /// Suspicions raised by the failure detector (a rank stopped making
+    /// observable progress, or a peer's dependency wait timed out on it).
+    pub suspects_raised: u64,
+    /// Suspicions refuted — the suspected rank made progress again before
+    /// confirmation (the stall-vs-crash distinction, observed).
+    pub suspects_refuted: u64,
+    /// Ranks the detector confirmed dead (silent exit with work remaining,
+    /// or suspicion that outlived the confirmation window).
+    pub ranks_confirmed_dead: u64,
+    /// Message rounds the survivor-set agreement protocol ran before every
+    /// live rank converged on the same `(epoch, survivor_set)`.
+    pub agreement_rounds: u64,
+    /// Coordinator re-elections during agreement (the coordinator itself
+    /// was dead or unresponsive).
+    pub coordinator_reelections: u64,
+    /// Stale-epoch messages rejected by the epoch fence (KNEM cookies or
+    /// notifies stamped with a dead epoch, refused delivery into the
+    /// rebuilt topology).
+    pub fenced_messages: u64,
+    /// Runs that fell back to the distance-oblivious baseline algorithms
+    /// because agreement or rebuild could not complete.
+    pub degraded_runs: u64,
 }
 
 impl FaultStats {
@@ -201,6 +285,13 @@ impl FaultStats {
         self.backoff_ns += other.backoff_ns;
         self.timeouts += other.timeouts;
         self.topology_rebuilds += other.topology_rebuilds;
+        self.suspects_raised += other.suspects_raised;
+        self.suspects_refuted += other.suspects_refuted;
+        self.ranks_confirmed_dead += other.ranks_confirmed_dead;
+        self.agreement_rounds += other.agreement_rounds;
+        self.coordinator_reelections += other.coordinator_reelections;
+        self.fenced_messages += other.fenced_messages;
+        self.degraded_runs += other.degraded_runs;
     }
 
     /// Folds this record into the process-wide metrics registry under
@@ -217,6 +308,13 @@ impl FaultStats {
         registry.add("faults.backoff_ns", self.backoff_ns);
         registry.add("faults.timeouts", self.timeouts);
         registry.add("faults.topology_rebuilds", self.topology_rebuilds);
+        registry.add("faults.suspects_raised", self.suspects_raised);
+        registry.add("faults.suspects_refuted", self.suspects_refuted);
+        registry.add("faults.ranks_confirmed_dead", self.ranks_confirmed_dead);
+        registry.add("faults.agreement_rounds", self.agreement_rounds);
+        registry.add("faults.coordinator_reelections", self.coordinator_reelections);
+        registry.add("faults.fenced_messages", self.fenced_messages);
+        registry.add("faults.degraded_runs", self.degraded_runs);
     }
 }
 
@@ -238,8 +336,9 @@ pub enum SimError {
         total: usize,
         /// Simulated time at which progress stopped.
         at: f64,
-        /// Fault accounting up to the stall.
-        fault_stats: FaultStats,
+        /// Fault accounting up to the stall (boxed: the record is large
+        /// and the lean `Ok` path should not pay for it).
+        fault_stats: Box<FaultStats>,
     },
     /// The simulated clock passed the configured deadline.
     DeadlineExceeded {
@@ -251,8 +350,9 @@ pub enum SimError {
         completed: usize,
         /// Total operations in the schedule.
         total: usize,
-        /// Fault accounting up to the deadline.
-        fault_stats: FaultStats,
+        /// Fault accounting up to the deadline (boxed, see
+        /// [`SimError::Stalled`]).
+        fault_stats: Box<FaultStats>,
     },
 }
 
@@ -263,7 +363,7 @@ impl SimError {
         match self {
             SimError::Schedule(_) => FaultStats::default(),
             SimError::Stalled { fault_stats, .. }
-            | SimError::DeadlineExceeded { fault_stats, .. } => *fault_stats,
+            | SimError::DeadlineExceeded { fault_stats, .. } => **fault_stats,
         }
     }
 }
@@ -347,13 +447,53 @@ mod tests {
             backoff_ns: 250,
             timeouts: 4,
             topology_rebuilds: 1,
+            suspects_raised: 3,
+            suspects_refuted: 2,
+            ranks_confirmed_dead: 1,
+            agreement_rounds: 6,
+            coordinator_reelections: 1,
+            fenced_messages: 2,
+            degraded_runs: 1,
         };
         a.merge(&b);
         assert_eq!(a.links_degraded, 4);
         assert_eq!(a.retries, 3);
         assert_eq!(a.backoff_ns, 250);
         assert_eq!(a.timeouts, 4);
+        assert_eq!(a.suspects_raised, 3);
+        assert_eq!(a.suspects_refuted, 2);
+        assert_eq!(a.ranks_confirmed_dead, 1);
+        assert_eq!(a.agreement_rounds, 6);
+        assert_eq!(a.coordinator_reelections, 1);
+        assert_eq!(a.fenced_messages, 2);
+        assert_eq!(a.degraded_runs, 1);
         assert_eq!(a.total_injected(), 4 + 1 + 1 + 2);
+    }
+
+    #[test]
+    fn cascade_plans_are_reproducible_and_harsher() {
+        let a = FaultPlan::seeded_cascade(9, 12, 3);
+        let b = FaultPlan::seeded_cascade(9, 12, 3);
+        assert_eq!(a, b, "cascade plans replay from the seed");
+        assert!(a.faults().len() >= FaultPlan::seeded(9, 12).faults().len());
+        assert!(!a.crashed_ranks().contains(&0), "rank 0 never crashes");
+        assert!(
+            a.faults().iter().any(|f| matches!(f, Fault::FlapRank { .. })),
+            "cascade plans include a flapping rank"
+        );
+    }
+
+    #[test]
+    fn flap_rank_is_recorded() {
+        let p = FaultPlan::new(0).flap_rank(3, 1e-4, 2);
+        match p.faults()[0] {
+            Fault::FlapRank { rank, delay, period_ops } => {
+                assert_eq!(rank, 3);
+                assert_eq!(period_ops, 2);
+                assert!(delay > 0.0);
+            }
+            _ => panic!("expected a flap fault"),
+        }
     }
 
     #[test]
@@ -363,7 +503,7 @@ mod tests {
             completed: 3,
             total: 9,
             at: 0.5,
-            fault_stats: FaultStats::default(),
+            fault_stats: Box::new(FaultStats::default()),
         };
         assert!(e.to_string().contains("seed 77"), "{e}");
         assert!(e.to_string().contains("3/9"), "{e}");

@@ -247,3 +247,63 @@ fn chaos_sweep_100_seeds_never_hangs() {
         assert!(injected > 0, "the sweep injected nothing");
     });
 }
+
+/// Membership-agreement sweep: 100 cascading fault plans through the full
+/// detector → agreement → fence pipeline. Every rank removal must be
+/// detector-confirmed (no omniscient path), every non-degraded recovery
+/// must carry at least one agreement round, and nothing may hang.
+#[test]
+fn membership_sweep_100_cascade_seeds_agrees_through_detection() {
+    let name = "membership_sweep_100_cascade_seeds_agrees_through_detection";
+    watchdog(name, 0, Duration::from_secs(240), || {
+        let comm = world(7);
+        let coll = AdaptiveColl::default();
+        let mut agreement_rounds = 0u64;
+        let mut confirmed = 0u64;
+        let mut degraded = 0u64;
+        let mut fenced = 0u64;
+        for seed in 0..100u64 {
+            // Tighter per-op deadline keeps the sweep fast; allgather gives
+            // every rank n-1 ops so the cascade's mid-collective crash
+            // budgets actually fire.
+            let mut cfg = ChaosConfig::cascade(seed);
+            cfg.policy.op_deadline = Some(Duration::from_millis(50));
+            match run_chaos(&comm, coll.clone(), ChaosCollective::Allgather { block: 1024 }, &cfg)
+            {
+                Ok(out) => {
+                    assert_eq!(
+                        out.failed_ranks.len() as u64,
+                        out.stats.ranks_confirmed_dead,
+                        "seed {seed}: a rank was removed without detector confirmation"
+                    );
+                    if out.recovered && !out.degraded {
+                        assert!(
+                            out.stats.agreement_rounds >= 1,
+                            "seed {seed}: recovery without a survivor vote"
+                        );
+                    }
+                    agreement_rounds += out.stats.agreement_rounds;
+                    confirmed += out.stats.ranks_confirmed_dead;
+                    degraded += out.stats.degraded_runs;
+                    fenced += out.stats.fenced_messages;
+                }
+                Err(CollectiveError::Hang { .. }) => {
+                    panic!("seed {seed}: hang — the one outcome the subsystem forbids")
+                }
+                Err(e) => {
+                    assert!(
+                        e.to_string().contains(&format!("fault seed {seed}")),
+                        "seed {seed}: error does not quote its seed: {e}"
+                    );
+                }
+            }
+        }
+        // The sweep must genuinely exercise the pipeline, not vacuously
+        // pass on fault plans that never fire.
+        assert!(confirmed >= 40, "only {confirmed} detector-confirmed deaths across 100 seeds");
+        assert!(agreement_rounds >= 40, "only {agreement_rounds} agreement rounds ran");
+        // Degradations and fencings are seed-dependent; just keep the
+        // counters visible so a regression to zero-everything is loud.
+        let _ = (degraded, fenced);
+    });
+}

@@ -151,4 +151,35 @@ fn fault_summary_includes_retries_and_backoff() {
     let line = fault_summary_line(&stats);
     assert!(line.contains("4 retries"), "{line}");
     assert!(line.contains("2.500 ms backoff"), "{line}");
+    // Membership counters render even when zero, so lines from different
+    // runs stay column-comparable.
+    assert!(line.contains("0 suspected (0 refuted)"), "{line}");
+    assert!(line.contains("0 confirmed dead"), "{line}");
+    assert!(line.contains("0 agreement rounds (0 re-elections)"), "{line}");
+    assert!(line.contains("0 fenced"), "{line}");
+    assert!(line.contains("0 degraded runs"), "{line}");
+
+    // Non-zero membership counters slot into the same positions without
+    // reshaping the line.
+    let busy = FaultStats {
+        suspects_raised: 3,
+        suspects_refuted: 2,
+        ranks_confirmed_dead: 1,
+        agreement_rounds: 4,
+        coordinator_reelections: 1,
+        fenced_messages: 5,
+        degraded_runs: 1,
+        ..FaultStats::default()
+    };
+    let busy_line = fault_summary_line(&busy);
+    assert!(busy_line.contains("3 suspected (2 refuted)"), "{busy_line}");
+    assert!(busy_line.contains("1 confirmed dead"), "{busy_line}");
+    assert!(busy_line.contains("4 agreement rounds (1 re-elections)"), "{busy_line}");
+    assert!(busy_line.contains("5 fenced"), "{busy_line}");
+    assert!(busy_line.contains("1 degraded runs"), "{busy_line}");
+    assert_eq!(
+        line.matches(',').count(),
+        busy_line.matches(',').count(),
+        "zero and non-zero lines have the same shape:\n{line}\n{busy_line}"
+    );
 }
