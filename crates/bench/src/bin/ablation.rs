@@ -90,7 +90,7 @@ fn pipeline_chunk_ablation() {
     println!("{:>10} {:>14}", "chunk", "BW (MB/s)");
     for chunk in [0usize, 32 << 10, 64 << 10, 128 << 10, 512 << 10, 2 << 20] {
         let coll = AdaptiveColl::new(AdaptivePolicy {
-            sched: SchedConfig { pipeline_chunk: chunk },
+            sched: SchedConfig::uniform(chunk),
             ..Default::default()
         });
         let s = coll.bcast(&comm, 0, bytes);

@@ -11,11 +11,12 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use pdac_analyze::{CriticalPathReport, OpGraph};
 use pdac_core::adaptive::{AdaptiveColl, BcastTopology};
 use pdac_core::TopoCache;
 use pdac_hwtopo::{machines, BindingPolicy};
 use pdac_mpisim::Communicator;
-use pdac_simnet::{SimConfig, SimExecutor};
+use pdac_simnet::{predicted_ops, Schedule, SimConfig, SimExecutor};
 use serde::Serialize;
 
 /// Nanoseconds per call of `f`, after a warmup.
@@ -47,6 +48,24 @@ struct EngineBench {
     solver_skipped: u64,
     solver_incremental: u64,
     solver_full: u64,
+    solver_skipped_frac: f64,
+    solver_incremental_frac: f64,
+    solver_full_frac: f64,
+    /// Honesty flag for the solver-rework workstream: true when the
+    /// incremental mode fails to beat the full recompute by at least 5%.
+    incremental_not_winning: bool,
+}
+
+/// Critical-path wait attribution of one collective's predicted run: how
+/// much of the end-to-end wall time the critical path spends *not moving
+/// payload* — dependency gaps plus notification spans.
+#[derive(Serialize)]
+struct PipelineBench {
+    schedule_ops: usize,
+    wall_us: f64,
+    wait_us: f64,
+    notify_us: f64,
+    wait_share: f64,
 }
 
 #[derive(Serialize)]
@@ -56,6 +75,44 @@ struct HotpathReport {
     bcast_tree: ConstructionBench,
     allgather_ring: ConstructionBench,
     engine_bcast_1m: EngineBench,
+    /// Wait/notify mechanism share of the critical path per collective
+    /// (the executor-pipeline regression signal).
+    pipeline: PipelineReport,
+}
+
+#[derive(Serialize)]
+struct PipelineReport {
+    bcast: PipelineBench,
+    allgather: PipelineBench,
+}
+
+/// Runs `schedule` through the timing simulator and attributes the
+/// critical path: `wait_share` is the fraction of predicted wall time the
+/// path spends in dependency gaps or notify spans rather than payload.
+fn pipeline_bench(
+    schedule: &Schedule,
+    machine: &pdac_hwtopo::Machine,
+    binding: &pdac_hwtopo::Binding,
+    distances: &pdac_hwtopo::DistanceMatrix,
+) -> PipelineBench {
+    let report = SimExecutor::new(machine, binding, SimConfig::default())
+        .run(schedule)
+        .expect("fault-free sim run");
+    let ops = predicted_ops(schedule, &report, Some(distances));
+    let cp = CriticalPathReport::extract(&OpGraph::from_predicted(&ops));
+    let notify_us = cp
+        .by_mech
+        .iter()
+        .find(|r| r.key == "notify")
+        .map(|r| r.us)
+        .unwrap_or(0.0);
+    PipelineBench {
+        schedule_ops: schedule.ops.len(),
+        wall_us: cp.wall_us,
+        wait_us: cp.wait_us,
+        notify_us,
+        wait_share: (cp.wait_us + notify_us) / cp.wall_us.max(f64::MIN_POSITIVE),
+    }
 }
 
 fn construction_bench(
@@ -145,6 +202,18 @@ fn main() {
     let (full_eps, events, _) = events_per_sec(true);
     let (inc_eps, _, stats) = events_per_sec(false);
 
+    // Critical-path wait attribution: a 1 MB broadcast and a 256 KB-block
+    // allgather on the same communicator, through the predicted-op leg of
+    // pdac-analyze (no telemetry feature required).
+    let distances = comm.distances();
+    let allgather_schedule = coll.allgather_cached(&cache, &comm, 1 << 18);
+    let pipeline = PipelineReport {
+        bcast: pipeline_bench(&schedule, &machine, &binding, &distances),
+        allgather: pipeline_bench(&allgather_schedule, &machine, &binding, &distances),
+    };
+
+    let solver_events = (stats.skipped + stats.incremental + stats.full).max(1) as f64;
+    let speedup = inc_eps / full_eps;
     let report = HotpathReport {
         ranks,
         parallel_feature: cfg!(feature = "parallel"),
@@ -155,11 +224,16 @@ fn main() {
             events,
             full_events_per_sec: full_eps,
             incremental_events_per_sec: inc_eps,
-            speedup: inc_eps / full_eps,
+            speedup,
             solver_skipped: stats.skipped,
             solver_incremental: stats.incremental,
             solver_full: stats.full,
+            solver_skipped_frac: stats.skipped as f64 / solver_events,
+            solver_incremental_frac: stats.incremental as f64 / solver_events,
+            solver_full_frac: stats.full as f64 / solver_events,
+            incremental_not_winning: speedup < 1.05,
         },
+        pipeline,
     };
 
     println!("hot-path benchmark, {ranks} ranks on {}", machine.name);
@@ -185,6 +259,19 @@ fn main() {
         report.engine_bcast_1m.solver_incremental,
         report.engine_bcast_1m.solver_full
     );
+    if report.engine_bcast_1m.incremental_not_winning {
+        println!(
+            "  engine       WARNING: incremental solver is not winning ({:.3}x < 1.05x)",
+            report.engine_bcast_1m.speedup
+        );
+    }
+    for (name, p) in [("bcast", &report.pipeline.bcast), ("allgather", &report.pipeline.allgather)]
+    {
+        println!(
+            "  pipeline     {name:<10} wall {:>9.1} us   wait {:>8.1} us   notify {:>7.1} us   wait_share {:>6.3}",
+            p.wall_us, p.wait_us, p.notify_us, p.wait_share
+        );
+    }
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_hotpath.json", json).expect("write BENCH_hotpath.json");

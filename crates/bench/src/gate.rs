@@ -121,6 +121,11 @@ pub struct ScenarioResult {
     /// Critical-path coverage of the simulated run (share of wall time the
     /// analyzer attributes to identified spans).
     pub coverage: f64,
+    /// Share of the critical path spent waiting on dependencies or in
+    /// notify spans rather than moving payload (0 in baselines written
+    /// before the field existed — such entries are not compared).
+    #[serde(default)]
+    pub wait_share: f64,
 }
 
 /// The gate's output document (`BENCH_collectives.json`).
@@ -155,8 +160,14 @@ fn build_schedule(scenario: &Scenario, comm: &Communicator) -> Schedule {
         Collective::Bcast => coll.bcast(comm, 0, scenario.bytes),
         Collective::Allgather => coll.allgather(comm, scenario.bytes),
         Collective::Allreduce => {
-            let tree = build_bcast_tree(&comm.distances(), 0);
-            pdac_core::sched::allreduce_schedule(&tree, scenario.bytes, &SchedConfig::default())
+            let dist = comm.distances();
+            let tree = build_bcast_tree(&dist, 0);
+            pdac_core::sched::allreduce_schedule_dist(
+                &tree,
+                scenario.bytes,
+                &SchedConfig::default(),
+                Some(&dist),
+            )
         }
     }
 }
@@ -186,6 +197,12 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
         }
         Collective::Allgather => pdac_simnet::bw_allgather(n, scenario.bytes, report.total_time),
     };
+    let notify_us = cp
+        .by_mech
+        .iter()
+        .find(|r| r.key == "notify")
+        .map(|r| r.us)
+        .unwrap_or(0.0);
     ScenarioResult {
         id: scenario.id.clone(),
         ranks,
@@ -194,6 +211,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
         bw_mbs,
         ops: schedule.ops.len(),
         coverage: cp.coverage,
+        wait_share: (cp.wait_us + notify_us) / cp.wall_us.max(f64::MIN_POSITIVE),
     }
 }
 
@@ -214,6 +232,14 @@ pub struct Tolerances {
     pub ops_rel: f64,
     /// Minimum critical-path coverage every scenario must keep.
     pub coverage_min: f64,
+    /// Allowed absolute growth of `wait_share` over the baseline (only
+    /// checked when the baseline recorded a nonzero share).
+    #[serde(default = "default_wait_share_abs")]
+    pub wait_share_abs: f64,
+}
+
+fn default_wait_share_abs() -> f64 {
+    0.10
 }
 
 impl Default for Tolerances {
@@ -222,6 +248,7 @@ impl Default for Tolerances {
             seconds_rel: 0.05,
             ops_rel: 0.25,
             coverage_min: 0.90,
+            wait_share_abs: default_wait_share_abs(),
         }
     }
 }
@@ -358,6 +385,19 @@ pub fn compare(current: &GateReport, baseline: &GateReport, tol: Tolerances) -> 
                 limit: tol.coverage_min,
             });
         }
+        // Baselines written before the field existed deserialize to 0 and
+        // are skipped; once a baseline records a real share, the pipeline
+        // must not quietly give the win back.
+        let wait_share_limit = base.wait_share + tol.wait_share_abs;
+        if base.wait_share > 0.0 && cur.wait_share > wait_share_limit {
+            outcome.violations.push(Violation {
+                id: base.id.clone(),
+                metric: "wait_share".into(),
+                baseline: base.wait_share,
+                current: cur.wait_share,
+                limit: wait_share_limit,
+            });
+        }
     }
     for cur in &current.scenarios {
         if baseline.get(&cur.id).is_none() {
@@ -438,6 +478,7 @@ mod tests {
             bw_mbs: 1.0,
             ops: 10,
             coverage: 1.0,
+            wait_share: 0.1,
         });
         let mut current = report.clone();
         current.scenarios.push(ScenarioResult {
@@ -447,6 +488,30 @@ mod tests {
         let outcome = compare(&current, &baseline, Tolerances::default());
         assert!(outcome.violations.iter().any(|v| v.metric == "missing"));
         assert_eq!(outcome.added, vec!["novel/bcast/contig/1M".to_string()]);
+    }
+
+    #[test]
+    fn wait_share_regression_fails_legacy_baseline_skips() {
+        let report = small_report();
+        // A baseline whose pipeline spent far less of the path waiting:
+        // the current run must read as a wait_share regression.
+        let mut lean = report.clone();
+        for s in &mut lean.scenarios {
+            s.wait_share = 0.001;
+        }
+        let mut current = report.clone();
+        for s in &mut current.scenarios {
+            s.wait_share = 0.5;
+        }
+        let outcome = compare(&current, &lean, Tolerances::default());
+        assert!(outcome.violations.iter().any(|v| v.metric == "wait_share"));
+        // A pre-field baseline (wait_share deserialized to 0) is skipped.
+        let mut legacy = report.clone();
+        for s in &mut legacy.scenarios {
+            s.wait_share = 0.0;
+        }
+        let outcome = compare(&current, &legacy, Tolerances::default());
+        assert!(!outcome.violations.iter().any(|v| v.metric == "wait_share"));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use crate::allgather_ring::Ring;
 use crate::bcast_tree::{build_bcast_tree, build_bcast_tree_with_arena};
-use crate::sched::{allgather_schedule, bcast_schedule, SchedConfig};
+use crate::sched::{allgather_schedule_dist, bcast_schedule_dist, SchedConfig};
 use crate::topocache::{TopoCache, TopoKey, TopoKind};
 use crate::tree::Tree;
 
@@ -131,7 +131,7 @@ impl AdaptiveColl {
     pub fn bcast(&self, comm: &Communicator, root: usize, bytes: usize) -> Schedule {
         let topo = self.bcast_topology_choice(comm, bytes);
         let tree = self.bcast_tree(comm, root, topo);
-        self.bcast_schedule_named(&tree, bytes, topo)
+        self.bcast_schedule_named(&tree, bytes, topo, comm)
     }
 
     /// [`Self::bcast`] through `cache`: repeated broadcasts on one
@@ -145,11 +145,20 @@ impl AdaptiveColl {
     ) -> Schedule {
         let topo = self.bcast_topology_choice(comm, bytes);
         let tree = self.bcast_tree_cached(cache, comm, root, topo);
-        self.bcast_schedule_named(&tree, bytes, topo)
+        self.bcast_schedule_named(&tree, bytes, topo, comm)
     }
 
-    fn bcast_schedule_named(&self, tree: &Tree, bytes: usize, topo: BcastTopology) -> Schedule {
-        let mut s = bcast_schedule(tree, bytes, &self.policy.sched);
+    fn bcast_schedule_named(
+        &self,
+        tree: &Tree,
+        bytes: usize,
+        topo: BcastTopology,
+        comm: &Communicator,
+    ) -> Schedule {
+        // Chunk sizing uses the physical (uncollapsed) distances: collapsing
+        // reshapes the tree, not the cost of moving bytes across an edge.
+        let dist = comm.distances_arc();
+        let mut s = bcast_schedule_dist(tree, bytes, &self.policy.sched, Some(dist.as_ref()));
         s.name = format!(
             "knemcoll-bcast/{}",
             match topo {
@@ -170,7 +179,8 @@ impl AdaptiveColl {
         topo: BcastTopology,
     ) -> Schedule {
         let tree = self.bcast_tree(comm, root, topo);
-        bcast_schedule(&tree, bytes, &self.policy.sched)
+        let dist = comm.distances_arc();
+        bcast_schedule_dist(&tree, bytes, &self.policy.sched, Some(dist.as_ref()))
     }
 
     /// The allgather ring the framework would use.
@@ -188,7 +198,13 @@ impl AdaptiveColl {
     /// Distance-aware allgather (Algorithm 2 + §IV-C execution).
     pub fn allgather(&self, comm: &Communicator, block_bytes: usize) -> Schedule {
         let ring = self.allgather_ring(comm);
-        let mut s = allgather_schedule(&ring, block_bytes);
+        let dist = comm.distances_arc();
+        let mut s = allgather_schedule_dist(
+            &ring,
+            block_bytes,
+            Some(&self.policy.sched),
+            Some(dist.as_ref()),
+        );
         s.name = "knemcoll-allgather".into();
         s
     }
@@ -202,7 +218,13 @@ impl AdaptiveColl {
         block_bytes: usize,
     ) -> Schedule {
         let ring = self.allgather_ring_cached(cache, comm);
-        let mut s = allgather_schedule(&ring, block_bytes);
+        let dist = comm.distances_arc();
+        let mut s = allgather_schedule_dist(
+            &ring,
+            block_bytes,
+            Some(&self.policy.sched),
+            Some(dist.as_ref()),
+        );
         s.name = "knemcoll-allgather".into();
         s
     }

@@ -6,12 +6,13 @@ use pdac_mpisim::Communicator;
 use pdac_simnet::Schedule;
 
 use crate::bcast_tree::build_bcast_tree;
-use crate::sched::{allreduce_schedule, SchedConfig};
+use crate::sched::{allreduce_schedule_dist, SchedConfig};
 
 /// Builds the distance-aware allreduce schedule for `comm`.
 pub fn distance_aware(comm: &Communicator, bytes: usize, cfg: &SchedConfig) -> Schedule {
-    let tree = build_bcast_tree(&comm.distances(), 0);
-    let mut s = allreduce_schedule(&tree, bytes, cfg);
+    let dist = comm.distances();
+    let tree = build_bcast_tree(&dist, 0);
+    let mut s = allreduce_schedule_dist(&tree, bytes, cfg, Some(&dist));
     s.name = format!("dist-allreduce/{}", comm.name());
     s
 }

@@ -184,7 +184,7 @@ mod tests {
             let binding = policy.bind(&ig, 48).unwrap();
             let dist = DistanceMatrix::for_binding(&ig, &binding);
             let tree = build_bcast_tree(&dist, 0);
-            let sched = bcast_schedule(&tree, bytes, &SchedConfig { pipeline_chunk: 0 });
+            let sched = bcast_schedule(&tree, bytes, &SchedConfig::uniform(0));
             // Exactly one message crosses the boards, 6 cross sockets.
             let stress = link_stress(&sched, &dist);
             assert_eq!(stress[6], bytes as u64);

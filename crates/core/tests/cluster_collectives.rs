@@ -91,7 +91,7 @@ fn slow_link_bytes_count_network_classes() {
     let (_, dist) = matrix(&c, BindingPolicy::Contiguous);
     let tree = build_bcast_tree(&dist, 0);
     let bytes = 1 << 16;
-    let sched = bcast_schedule(&tree, bytes, &SchedConfig { pipeline_chunk: 0 });
+    let sched = bcast_schedule(&tree, bytes, &SchedConfig::uniform(0));
     let stress = metrics::link_stress(&sched, &dist);
     assert_eq!(stress[7], 2 * bytes as u64, "two same-switch node joins");
     assert_eq!(stress[8], bytes as u64, "one cross-switch join");

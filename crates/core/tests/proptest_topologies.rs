@@ -125,7 +125,7 @@ proptest! {
         bytes in 1usize..20_000,
     ) {
         let tree = build_bcast_tree(&dist, root);
-        let cfg = SchedConfig { pipeline_chunk: 4096 };
+        let cfg = SchedConfig::uniform(4096);
         let bcast = bcast_schedule(&tree, bytes, &cfg);
         bcast.validate().unwrap();
         verify::verify_bcast(&bcast, root, bytes).unwrap();

@@ -19,7 +19,9 @@
 
 #![warn(missing_docs)]
 
+pub mod bufpool;
 pub mod comm;
+pub mod completion;
 pub mod detector;
 pub mod fault;
 pub mod knem;
@@ -27,10 +29,12 @@ pub mod p2p;
 pub mod p2p_tuning;
 pub mod thread_exec;
 
+pub use bufpool::{BufferPool, BufferPoolStats};
 pub use comm::Communicator;
+pub use completion::CompletionRing;
 pub use detector::{DetectorCounters, FailureDetector, RankState};
 pub use fault::{ExecFaultPlan, RetryPolicy};
 pub use knem::{Cookie, KnemDevice, KnemError, KnemStats};
 pub use p2p::{P2pConfig, SendOps};
 pub use p2p_tuning::{emit_send_tuned, DistanceTunedP2p, P2pParams};
-pub use thread_exec::{apply_data_op, ExecError, ExecResult, ThreadExecutor};
+pub use thread_exec::{apply_data_op, ExecError, ExecResult, ThreadExecutor, WaitStats};

@@ -18,6 +18,8 @@ use pdac_hwtopo::{DistanceMatrix, DIST_MAX_EXTENDED};
 use pdac_simnet::{BufId, DataOp, FaultStats, Mech, OpKind, Rank, Schedule, ScheduleError};
 use pdac_telemetry::LogHistogram;
 
+use crate::bufpool::BufferPool;
+use crate::completion::CompletionRing;
 use crate::detector::FailureDetector;
 use crate::fault::{ExecFaultPlan, RetryPolicy};
 use crate::knem::{KnemDevice, KnemError, KnemStats};
@@ -143,6 +145,24 @@ pub struct ExecResult {
     /// Fault-injection and recovery accounting (all zero on a fault-free,
     /// default-policy run).
     pub fault_stats: FaultStats,
+    /// How dependency waits resolved (lock-free fast path vs condvar park).
+    pub wait_stats: WaitStats,
+}
+
+/// How the run's dependency waits resolved. The success path is lock-free
+/// (completion rings + `done` flags); `parked` counts condvar parks, which
+/// only the deadline/suspect-clock path takes — a healthy run with no
+/// deadline armed reports `parked == 0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaitStats {
+    /// Waits satisfied on the first `done`-flag check, no spinning.
+    pub fast: u64,
+    /// Completion notifications drained from the per-rank rings.
+    pub drained: u64,
+    /// Condvar parks (bounded slices under an armed deadline only).
+    pub parked: u64,
+    /// `yield_now` calls on the cooperative wait path.
+    pub yields: u64,
 }
 
 impl ExecResult {
@@ -188,6 +208,9 @@ pub struct ThreadExecutor {
     /// Communicator epoch the run executes under; stamped on every KNEM
     /// registration so a fenced device can reject stale stragglers.
     epoch: u64,
+    /// Staging-buffer pool shared across runs; a fresh per-run pool is
+    /// created when absent.
+    pool: Option<Arc<BufferPool>>,
 }
 
 /// Why a dependency wait returned without the dependency completing.
@@ -210,48 +233,140 @@ struct RankExit {
     unwound: bool,
 }
 
+/// Shared wait counters, snapshotted into [`WaitStats`] at end of run.
+#[derive(Default)]
+struct WaitCounters {
+    fast: AtomicU64,
+    drained: AtomicU64,
+    parked: AtomicU64,
+    yields: AtomicU64,
+}
+
+/// Bounded condvar park slice under an armed deadline: a parked waiter
+/// re-checks `done`/`poisoned` at least this often, so completion needs no
+/// condvar broadcast (only `poison` still notifies, to cut parks short).
+const PARK_SLICE: Duration = Duration::from_millis(1);
+
+/// Spin iterations (with ring drains) before falling back to `yield_now`.
+const SPIN_BUDGET: u32 = 128;
+
+/// How long a deadline-armed waiter stays on the cooperative yield path
+/// before parking on the condvar — short waits (the overwhelming majority)
+/// never touch the lock even when a chaos deadline is set.
+const PARK_AFTER: Duration = Duration::from_micros(500);
+
 struct Sync_ {
     done: Vec<AtomicBool>,
     poisoned: AtomicBool,
+    /// One MPSC completion ring per rank: peers push op ids whose
+    /// completion unblocks a cross-rank dependency of that rank.
+    rings: Vec<CompletionRing>,
+    /// Per op id: the ranks (deduped) owning a dependent op on another
+    /// rank — the subscribers whose ring `complete` publishes into.
+    subscribers: Vec<Vec<Rank>>,
+    /// Depth of a rank's ring observed at each non-empty drain.
+    queue_depth: Arc<LogHistogram>,
+    stats: WaitCounters,
+    /// Condvar survives only for the deadline/suspect-clock path and for
+    /// poisoning; the success path never takes the lock.
     lock: Mutex<()>,
     cvar: Condvar,
 }
 
 impl Sync_ {
-    fn wait(&self, dep: usize, deadline: Option<Duration>) -> Result<(), WaitFail> {
+    /// Empties `me`'s completion ring, recording the observed depth.
+    fn drain(&self, me: Rank) {
+        let depth = self.rings[me].len();
+        if depth > 0 {
+            self.queue_depth.record(depth as u64);
+            let n = self.rings[me].drain_into(&mut |_id| {});
+            self.stats.drained.fetch_add(n as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn wait(&self, me: Rank, dep: usize, deadline: Option<Duration>) -> Result<(), WaitFail> {
         if self.done[dep].load(Ordering::Acquire) {
+            self.stats.fast.fetch_add(1, Ordering::Relaxed);
             return Ok(());
         }
         let start = Instant::now();
-        let mut guard = self.lock.lock();
-        while !self.done[dep].load(Ordering::Acquire) {
+        // Phase 1: bounded spin, draining our own ring — the lock-free
+        // success path for dependencies completing within microseconds.
+        for _ in 0..SPIN_BUDGET {
+            self.drain(me);
+            if self.done[dep].load(Ordering::Acquire) {
+                return Ok(());
+            }
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(WaitFail::Poisoned);
+            }
+            std::hint::spin_loop();
+        }
+        // Phase 2: cooperative yielding; with an armed deadline the wait
+        // eventually parks on the condvar in bounded slices (the only
+        // blocking wait left — chaos timeouts and the failure detector's
+        // suspect clock), and `elapsed >= deadline` surfaces as a timeout.
+        loop {
+            self.drain(me);
+            if self.done[dep].load(Ordering::Acquire) {
+                return Ok(());
+            }
             if self.poisoned.load(Ordering::Acquire) {
                 return Err(WaitFail::Poisoned);
             }
             match deadline {
-                None => self.cvar.wait(&mut guard),
+                None => {
+                    self.stats.yields.fetch_add(1, Ordering::Relaxed);
+                    std::thread::yield_now();
+                }
                 Some(d) => {
                     let elapsed = start.elapsed();
                     if elapsed >= d {
                         return Err(WaitFail::TimedOut(elapsed));
                     }
-                    let _ = self.cvar.wait_for(&mut guard, d - elapsed);
+                    if elapsed < PARK_AFTER {
+                        self.stats.yields.fetch_add(1, Ordering::Relaxed);
+                        std::thread::yield_now();
+                    } else {
+                        self.stats.parked.fetch_add(1, Ordering::Relaxed);
+                        let mut guard = self.lock.lock();
+                        if !self.done[dep].load(Ordering::Acquire)
+                            && !self.poisoned.load(Ordering::Acquire)
+                        {
+                            let _ = self
+                                .cvar
+                                .wait_for(&mut guard, PARK_SLICE.min(d - elapsed));
+                        }
+                    }
                 }
             }
         }
-        Ok(())
     }
 
+    /// Publishes a completion: flag first (`Release` pairs with the
+    /// waiters' `Acquire`), then a ring push per subscribed rank. No lock,
+    /// no broadcast — parked waiters re-check within one `PARK_SLICE`.
     fn complete(&self, id: usize) {
-        let _guard = self.lock.lock();
         self.done[id].store(true, Ordering::Release);
-        self.cvar.notify_all();
+        for &r in &self.subscribers[id] {
+            let pushed = self.rings[r].push(id);
+            debug_assert!(pushed, "rings are sized for every completion");
+        }
     }
 
     fn poison(&self) {
         let _guard = self.lock.lock();
         self.poisoned.store(true, Ordering::Release);
         self.cvar.notify_all();
+    }
+
+    fn wait_stats(&self) -> WaitStats {
+        WaitStats {
+            fast: self.stats.fast.load(Ordering::Relaxed),
+            drained: self.stats.drained.load(Ordering::Relaxed),
+            parked: self.stats.parked.load(Ordering::Relaxed),
+            yields: self.stats.yields.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -396,6 +511,15 @@ impl ThreadExecutor {
         self
     }
 
+    /// Shares a staging-buffer pool across runs, so arenas warmed by one
+    /// collective are reused by the next instead of reallocated. Without
+    /// it every run gets a fresh pool (still reused across the chunks of
+    /// that run).
+    pub fn with_buffer_pool(mut self, pool: Arc<BufferPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// Validates and runs `schedule`. Send buffers are initialized by
     /// `init_send(rank, size)`; receive and temporary buffers start zeroed.
     pub fn run(
@@ -436,14 +560,43 @@ impl ThreadExecutor {
             per_rank.entry(op.kind.executor()).or_default().push(id);
         }
 
+        // Subscription map: op id -> ranks holding a cross-rank dependent
+        // op. Same-rank dependencies resolve in program order and need no
+        // ring traffic; each ring is sized so `push` can never fail even if
+        // its owner drains nothing.
+        let mut subscribers: Vec<Vec<Rank>> = vec![Vec::new(); schedule.ops.len()];
+        for op in schedule.ops.iter() {
+            let me = op.kind.executor();
+            for &dep in &op.deps {
+                if schedule.ops[dep].kind.executor() != me {
+                    subscribers[dep].push(me);
+                }
+            }
+        }
+        for subs in &mut subscribers {
+            subs.sort_unstable();
+            subs.dedup();
+        }
+        let ring_cap = schedule.ops.len().max(1);
         let sync = Arc::new(Sync_ {
             done: (0..schedule.ops.len())
                 .map(|_| AtomicBool::new(false))
                 .collect(),
             poisoned: AtomicBool::new(false),
+            rings: (0..schedule.num_ranks)
+                .map(|_| CompletionRing::with_capacity(ring_cap))
+                .collect(),
+            subscribers,
+            queue_depth: telemetry.registry().histogram("exec.queue.depth"),
+            stats: WaitCounters::default(),
             lock: Mutex::new(()),
             cvar: Condvar::new(),
         });
+        let pool = self
+            .pool
+            .clone()
+            .unwrap_or_else(|| Arc::new(BufferPool::new(schedule.num_ranks.max(1))));
+        let pool_before = pool.stats();
 
         let seed = self.faults.as_ref().map(|p| p.seed);
         // Lethal faults (crashes, dropped notifications) only surface as
@@ -487,6 +640,7 @@ impl ThreadExecutor {
                 let sync = Arc::clone(&sync);
                 let counters = Arc::clone(&counters);
                 let histograms = Arc::clone(&histograms);
+                let pool = Arc::clone(&pool);
                 let distances = self.distances.clone();
                 let detector = self.detector.clone();
                 let epoch = self.epoch;
@@ -538,13 +692,13 @@ impl ThreadExecutor {
                                 Some(det)
                                     if deadline.is_none_or(|d| det.suspect_after() < d) =>
                                 {
-                                    match sync.wait(dep, Some(det.suspect_after())) {
+                                    match sync.wait(rank, dep, Some(det.suspect_after())) {
                                         Err(WaitFail::TimedOut(waited)) => {
                                             let owner = schedule.ops[dep].kind.executor();
                                             det.suspect(owner, rank);
                                             let rest =
                                                 deadline.map(|d| d.saturating_sub(waited));
-                                            match sync.wait(dep, rest) {
+                                            match sync.wait(rank, dep, rest) {
                                                 Ok(()) => {
                                                     det.heartbeat(owner);
                                                     Ok(())
@@ -558,7 +712,7 @@ impl ThreadExecutor {
                                         other => other,
                                     }
                                 }
-                                _ => sync.wait(dep, deadline),
+                                _ => sync.wait(rank, dep, deadline),
                             };
                             match wait_res {
                                 Ok(()) => {}
@@ -629,7 +783,7 @@ impl ThreadExecutor {
                         let op_started = Instant::now();
                         let mut attempts = 0u32;
                         loop {
-                            match execute_op(kind, &buffers, &knem, epoch) {
+                            match execute_op(kind, &buffers, &knem, epoch, &pool, rank, class as u8) {
                                 Ok(()) => break,
                                 Err(KnemError::StaleEpoch { epoch, fence }) => {
                                     // Never retried: a fenced epoch does
@@ -756,6 +910,9 @@ impl ThreadExecutor {
         }
         .publish(registry);
         fault_stats.publish(registry);
+        // Pool counters publish the run's delta (a shared pool's lifetime
+        // totals stay with the pool).
+        pool.stats().delta_since(&pool_before).publish(registry);
 
         Ok(ExecResult {
             buffers: buffers
@@ -764,6 +921,7 @@ impl ThreadExecutor {
                 .collect(),
             knem_stats,
             fault_stats,
+            wait_stats: sync.wait_stats(),
         })
     }
 }
@@ -814,11 +972,23 @@ pub fn apply_data_op(op: DataOp, dst: &mut [u8], src: &[u8]) {
     }
 }
 
+/// Executes one operation as a two-stage pipelined copy.
+///
+/// Stage 1 snapshots the source range into a pooled staging buffer under
+/// the shared (read) lock and releases it; stage 2 combines the staged
+/// bytes into the destination under the exclusive (write) lock. The
+/// source lock is never held across the destination write, so two locks
+/// are never held at once — no ordering discipline, no same-buffer
+/// aliasing special cases — and a rank can stage chunk `k+1` while chunk
+/// `k`'s destination write drains.
 fn execute_op(
     kind: &OpKind,
     buffers: &HashMap<(Rank, BufId), RwLock<Vec<u8>>>,
     knem: &KnemDevice,
     epoch: u64,
+    pool: &BufferPool,
+    rank: Rank,
+    class: u8,
 ) -> Result<(), KnemError> {
     let &OpKind::Copy {
         src_rank,
@@ -849,46 +1019,29 @@ fn execute_op(
         Mech::Memcpy => (src_rank, src_buf, src_off),
     };
 
-    let apply = |dst: &mut [u8], src: &[u8]| apply_data_op(data_op, dst, src);
-
-    let src_key = (src_rank, src_buf);
-    let dst_key = (dst_rank, dst_buf);
-    if src_key == dst_key {
-        // Same buffer: single write lock. Ranges are disjoint or identical
-        // per validation. Disjoint ranges split borrow-wise without any
-        // allocation; only the identical-range case (in-place reduce lane)
-        // needs a scratch copy of the source.
-        let mut buf = buffers[&src_key].write();
-        let disjoint = src_off + bytes <= dst_off || dst_off + bytes <= src_off;
-        if !disjoint {
-            let scratch = buf[src_off..src_off + bytes].to_vec();
-            apply(&mut buf[dst_off..dst_off + bytes], &scratch);
-        } else if src_off < dst_off {
-            let (lo, hi) = buf.split_at_mut(dst_off);
-            apply(&mut hi[..bytes], &lo[src_off..src_off + bytes]);
-        } else {
-            let (lo, hi) = buf.split_at_mut(src_off);
-            apply(&mut lo[dst_off..dst_off + bytes], &hi[..bytes]);
-        }
-    } else {
-        // Lock in global key order to avoid deadlock between concurrent
-        // copies crossing the same pair of buffers in opposite directions.
-        if src_key < dst_key {
-            let src = buffers[&src_key].read();
-            let mut dst = buffers[&dst_key].write();
-            apply(
-                &mut dst[dst_off..dst_off + bytes],
-                &src[src_off..src_off + bytes],
-            );
-        } else {
-            let mut dst = buffers[&dst_key].write();
-            let src = buffers[&src_key].read();
-            apply(
-                &mut dst[dst_off..dst_off + bytes],
-                &src[src_off..src_off + bytes],
-            );
-        }
+    let telemetry = pdac_telemetry::global();
+    let mut staging = pool.acquire(rank, class, bytes);
+    {
+        let _read_span = telemetry.recorder().span(
+            rank as u64,
+            "stage",
+            || format!("stage.read {bytes}B"),
+            || vec![("bytes", bytes.into()), ("dist", (class as u64).into())],
+        );
+        let src = buffers[&(src_rank, src_buf)].read();
+        staging.copy_from_slice(&src[src_off..src_off + bytes]);
     }
+    {
+        let _write_span = telemetry.recorder().span(
+            rank as u64,
+            "stage",
+            || format!("stage.write {bytes}B"),
+            || vec![("bytes", bytes.into()), ("dist", (class as u64).into())],
+        );
+        let mut dst = buffers[&(dst_rank, dst_buf)].write();
+        apply_data_op(data_op, &mut dst[dst_off..dst_off + bytes], &staging);
+    }
+    pool.release(rank, class, staging);
     Ok(())
 }
 

@@ -112,7 +112,7 @@ impl Calibration {
             base_latency: 0.4e-6,
             hop_latency: 0.15e-6,
             knem_setup: 9.0e-6,
-            notify_latency: 0.3e-6,
+            notify_latency: 0.12e-6,
             eager_max_bytes: 4096,
             nic_bw: default_nic_bw(),
             switch_bw: default_switch_bw(),
@@ -133,7 +133,7 @@ impl Calibration {
             base_latency: 0.3e-6,
             hop_latency: 0.12e-6,
             knem_setup: 7.0e-6,
-            notify_latency: 0.25e-6,
+            notify_latency: 0.1e-6,
             eager_max_bytes: 4096,
             nic_bw: default_nic_bw(),
             switch_bw: default_switch_bw(),
@@ -153,7 +153,7 @@ impl Calibration {
             base_latency: 0.3e-6,
             hop_latency: 0.1e-6,
             knem_setup: 7.0e-6,
-            notify_latency: 0.25e-6,
+            notify_latency: 0.1e-6,
             eager_max_bytes: 4096,
             nic_bw: default_nic_bw(),
             switch_bw: default_switch_bw(),
