@@ -21,7 +21,7 @@ use pdac_core::{build_bcast_tree, sched::SchedConfig, AdaptiveColl};
 use pdac_hwtopo::{machines, BindingPolicy, DistanceMatrix, Machine};
 use pdac_mpisim::Communicator;
 use pdac_simnet::trace::sim_events_with_distances;
-use pdac_simnet::{Schedule, SimConfig, SimExecutor};
+use pdac_simnet::{Schedule, SimConfig, SimExecutor, TransportModel};
 use serde::{Deserialize, Serialize};
 
 /// Which collective a scenario exercises.
@@ -58,10 +58,16 @@ pub struct Scenario {
     pub policy: BindingPolicy,
     /// Message (or block) bytes.
     pub bytes: usize,
+    /// One-sided transport cost model charged by the simulator. KNEM rows
+    /// keep their historical ids; RDMA rows carry a `/rdma` suffix.
+    pub transport: TransportModel,
 }
 
 /// The canonical scenario matrix: every hwtopo machine, three collectives,
-/// a small and a large size, best-case and worst-case placement.
+/// a small and a large size, best-case and worst-case placement — under
+/// the KNEM cost model — plus an RDMA-model slice (both paper machines,
+/// broadcast and allgather, best/worst placement) tracking the pluggable
+/// transport seam.
 pub fn canonical_scenarios() -> Vec<Scenario> {
     let mut out = Vec::new();
     for machine in ["ig", "zoot", "syn2x2x8"] {
@@ -85,8 +91,32 @@ pub fn canonical_scenarios() -> Vec<Scenario> {
                         collective,
                         policy,
                         bytes,
+                        transport: TransportModel::Knem,
                     });
                 }
+            }
+        }
+    }
+    for machine in ["ig", "zoot"] {
+        for (collective, bytes) in
+            [(Collective::Bcast, 1 << 20), (Collective::Allgather, 64 << 10)]
+        {
+            for (placement, policy) in [
+                ("contig", BindingPolicy::Contiguous),
+                ("xsock", BindingPolicy::CrossSocket),
+            ] {
+                out.push(Scenario {
+                    id: format!(
+                        "{machine}/{}/{placement}/{}/rdma",
+                        collective.label(),
+                        crate::human_size(bytes)
+                    ),
+                    machine: machine.to_string(),
+                    collective,
+                    policy,
+                    bytes,
+                    transport: TransportModel::Rdma,
+                });
             }
         }
     }
@@ -183,6 +213,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
     let comm = Communicator::world(Arc::clone(&machine), binding.clone());
     let schedule = build_schedule(scenario, &comm);
     let report = SimExecutor::new(&machine, &binding, SimConfig::default())
+        .with_transport_model(scenario.transport)
         .run(&schedule)
         .expect("gate schedules validate");
 
@@ -280,6 +311,12 @@ pub struct GateOutcome {
     /// Scenario ids present only in the current run (new scenarios are
     /// informational — they fail nothing until the baseline knows them).
     pub added: Vec<String>,
+    /// Scenarios whose `wait_share` check was skipped because the baseline
+    /// predates the field (deserialized to 0). Skips used to be silent;
+    /// now every one is listed so a stale baseline can't quietly disable
+    /// the pipeline-efficiency check.
+    #[serde(default)]
+    pub wait_share_skipped: Vec<String>,
 }
 
 impl GateOutcome {
@@ -300,11 +337,12 @@ impl GateOutcome {
     /// Human-readable multi-line rendering.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "gate: {} scenarios compared, {} violations, {} improved, {} new\n",
+            "gate: {} scenarios compared, {} violations, {} improved, {} new, {} wait_share skipped\n",
             self.compared,
             self.violations.len(),
             self.improved.len(),
             self.added.len(),
+            self.wait_share_skipped.len(),
         );
         for v in &self.violations {
             out.push_str(&format!(
@@ -319,6 +357,11 @@ impl GateOutcome {
         }
         for id in &self.added {
             out.push_str(&format!("  new scenario {id} (absent from baseline)\n"));
+        }
+        for id in &self.wait_share_skipped {
+            out.push_str(&format!(
+                "  skipped wait_share for {id} (legacy baseline has no recorded share; refresh the baseline)\n"
+            ));
         }
         out.push_str(if self.passed() {
             "gate: PASS\n"
@@ -341,6 +384,7 @@ pub fn compare(current: &GateReport, baseline: &GateReport, tol: Tolerances) -> 
         improved: Vec::new(),
         violations: Vec::new(),
         added: Vec::new(),
+        wait_share_skipped: Vec::new(),
     };
     for base in &baseline.scenarios {
         let Some(cur) = current.get(&base.id) else {
@@ -386,17 +430,22 @@ pub fn compare(current: &GateReport, baseline: &GateReport, tol: Tolerances) -> 
             });
         }
         // Baselines written before the field existed deserialize to 0 and
-        // are skipped; once a baseline records a real share, the pipeline
-        // must not quietly give the win back.
-        let wait_share_limit = base.wait_share + tol.wait_share_abs;
-        if base.wait_share > 0.0 && cur.wait_share > wait_share_limit {
-            outcome.violations.push(Violation {
-                id: base.id.clone(),
-                metric: "wait_share".into(),
-                baseline: base.wait_share,
-                current: cur.wait_share,
-                limit: wait_share_limit,
-            });
+        // are skipped — but loudly, per scenario, so a stale baseline
+        // can't silently disable the check. Once a baseline records a
+        // real share, the pipeline must not quietly give the win back.
+        if base.wait_share > 0.0 {
+            let wait_share_limit = base.wait_share + tol.wait_share_abs;
+            if cur.wait_share > wait_share_limit {
+                outcome.violations.push(Violation {
+                    id: base.id.clone(),
+                    metric: "wait_share".into(),
+                    baseline: base.wait_share,
+                    current: cur.wait_share,
+                    limit: wait_share_limit,
+                });
+            }
+        } else {
+            outcome.wait_share_skipped.push(base.id.clone());
         }
     }
     for cur in &current.scenarios {
@@ -505,13 +554,62 @@ mod tests {
         }
         let outcome = compare(&current, &lean, Tolerances::default());
         assert!(outcome.violations.iter().any(|v| v.metric == "wait_share"));
-        // A pre-field baseline (wait_share deserialized to 0) is skipped.
+        assert!(outcome.wait_share_skipped.is_empty());
+        // A pre-field baseline (wait_share deserialized to 0) is skipped —
+        // but every skip is now logged and counted, not silent.
         let mut legacy = report.clone();
         for s in &mut legacy.scenarios {
             s.wait_share = 0.0;
         }
         let outcome = compare(&current, &legacy, Tolerances::default());
         assert!(!outcome.violations.iter().any(|v| v.metric == "wait_share"));
+        assert_eq!(outcome.wait_share_skipped.len(), legacy.scenarios.len());
+        let rendered = outcome.render();
+        for s in &legacy.scenarios {
+            assert!(outcome.wait_share_skipped.contains(&s.id));
+            assert!(
+                rendered.contains(&format!("skipped wait_share for {}", s.id)),
+                "each skipped scenario is listed"
+            );
+        }
+        assert!(rendered
+            .contains(&format!("{} wait_share skipped", legacy.scenarios.len())));
+    }
+
+    #[test]
+    fn rdma_scenarios_extend_the_matrix_without_renaming_knem_rows() {
+        let all = canonical_scenarios();
+        let rdma: Vec<_> = all
+            .iter()
+            .filter(|s| s.transport == TransportModel::Rdma)
+            .collect();
+        assert!(rdma.len() >= 4, "gate tracks the RDMA transport slice");
+        for s in &rdma {
+            assert!(s.id.ends_with("/rdma"), "{} carries the transport suffix", s.id);
+        }
+        // KNEM rows keep their historical ids so old baselines still join.
+        for s in all.iter().filter(|s| s.transport == TransportModel::Knem) {
+            assert!(!s.id.contains("/rdma"));
+        }
+        // Same scenario under RDMA completes faster: lower setup cost per
+        // op, everything else identical.
+        let knem = run_scenario(
+            all.iter()
+                .find(|s| s.id == "zoot/bcast/contig/1M")
+                .expect("knem row"),
+        );
+        let rdma = run_scenario(
+            all.iter()
+                .find(|s| s.id == "zoot/bcast/contig/1M/rdma")
+                .expect("rdma row"),
+        );
+        assert_eq!(knem.ops, rdma.ops, "same schedule under both models");
+        assert!(
+            rdma.seconds < knem.seconds,
+            "rdma {:.6e}s undercuts knem {:.6e}s",
+            rdma.seconds,
+            knem.seconds
+        );
     }
 
     #[test]

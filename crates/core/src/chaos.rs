@@ -37,8 +37,8 @@ use std::time::Duration;
 
 use pdac_mpisim::knem::FaultPlan as KnemFaultPlan;
 use pdac_mpisim::{
-    Communicator, ExecError, ExecFaultPlan, FailureDetector, KnemDevice, RetryPolicy,
-    ThreadExecutor,
+    Communicator, ExecError, ExecFaultPlan, FailureDetector, RetryPolicy, ThreadExecutor,
+    Transport, TransportKind,
 };
 use pdac_simnet::{
     BufId, FaultPlan as SimFaultPlan, FaultStats, Resource, Schedule, SimConfig, SimExecutor,
@@ -99,6 +99,10 @@ pub struct ChaosConfig {
     pub max_recoveries: u32,
     /// Bounds on each survivor-agreement episode.
     pub membership: MembershipConfig,
+    /// One-sided transport backend for the execution leg; the timing leg
+    /// charges the matching simulator cost model. Both backends share the
+    /// epoch-fence contract, so recovery behaves identically.
+    pub transport: TransportKind,
 }
 
 impl ChaosConfig {
@@ -116,12 +120,18 @@ impl ChaosConfig {
             cascade: false,
             max_recoveries: 3,
             membership: MembershipConfig::default(),
+            transport: TransportKind::Knem,
         }
     }
 
     /// Like [`Self::new`], but with the cascading multi-crash cocktail.
     pub fn cascade(seed: u64) -> Self {
         ChaosConfig { cascade: true, ..ChaosConfig::new(seed) }
+    }
+
+    /// Like [`Self::new`], but running on the given transport backend.
+    pub fn on_transport(seed: u64, transport: TransportKind) -> Self {
+        ChaosConfig { transport, ..ChaosConfig::new(seed) }
     }
 }
 
@@ -254,13 +264,13 @@ fn check_payload(
 
 /// One executor attempt under a watchdog. `Err(())` means the watchdog
 /// fired — the executor neither finished nor returned an error in time.
-/// The attempt runs with the shared fenced device, the episode's failure
-/// detector, and the current communicator epoch stamped on every KNEM
+/// The attempt runs with the shared fenced transport, the episode's failure
+/// detector, and the current communicator epoch stamped on every one-sided
 /// registration.
 #[allow(clippy::too_many_arguments)]
 fn run_attempt(
     schedule: Schedule,
-    device: Arc<KnemDevice>,
+    transport: Arc<dyn Transport>,
     policy: RetryPolicy,
     faults: Option<ExecFaultPlan>,
     detector: Arc<FailureDetector>,
@@ -269,7 +279,7 @@ fn run_attempt(
 ) -> Result<Result<pdac_mpisim::ExecResult, ExecError>, ()> {
     let (tx, rx) = mpsc::channel();
     std::thread::spawn(move || {
-        let mut exec = ThreadExecutor::with_device(device)
+        let mut exec = ThreadExecutor::with_transport(transport)
             .with_policy(policy)
             .with_detector(detector)
             .with_epoch(epoch);
@@ -342,9 +352,9 @@ pub fn run_chaos(
         KnemFaultPlan::transient(rng.gen_range(0..4) as u64, 1 + rng.gen_range(0..2) as u64);
     let degrade_factor = 0.05 + 0.45 * rng.gen_f64();
 
-    // One device for the whole episode: the epoch fence raised after each
-    // agreement must be visible to stragglers of earlier attempts.
-    let device = Arc::new(KnemDevice::with_faults(knem_plan));
+    // One transport for the whole episode: the epoch fence raised after
+    // each agreement must be visible to stragglers of earlier attempts.
+    let device = cfg.transport.create(Some(knem_plan));
     let suspect_after = cfg
         .policy
         .op_deadline
@@ -554,6 +564,7 @@ pub fn run_chaos(
     };
     let sim_plan = SimFaultPlan::new(seed).degrade_link(Resource::Mc(0), degrade_factor);
     let mut sim_report = SimExecutor::new(&machine, &binding, SimConfig::default())
+        .with_transport_model(cfg.transport.sim_model())
         .with_fault_plan(sim_plan)
         .with_deadline(3600.0)
         .run(&sim_schedule)
@@ -607,6 +618,29 @@ mod tests {
         println!("{line}");
         assert!(line.contains("recovered from rank failure"), "{line}");
         assert!(line.contains("backoff"), "retry/backoff accounting is summarized: {line}");
+    }
+
+    #[test]
+    fn chaos_recovers_identically_on_rdma_transport() {
+        // Same seed, same machine, same collective — only the one-sided
+        // backend differs. The epoch-fence contract is shared, so detection,
+        // agreement and the final survivor set must match the KNEM run.
+        let comm = world(6);
+        let what = ChaosCollective::Bcast { root: 0, bytes: 20_000 };
+        let knem = run_chaos(&comm, AdaptiveColl::default(), what, &ChaosConfig::new(0))
+            .unwrap_or_else(|e| panic!("knem seed 0: {e}"));
+        let rdma_cfg = ChaosConfig::on_transport(0, TransportKind::Rdma);
+        let rdma = run_chaos(&comm, AdaptiveColl::default(), what, &rdma_cfg)
+            .unwrap_or_else(|e| panic!("rdma seed 0: {e}"));
+        assert_eq!(knem.failed_ranks, rdma.failed_ranks);
+        assert_eq!(knem.recovered, rdma.recovered);
+        assert_eq!(knem.degraded, rdma.degraded);
+        assert!(
+            rdma.sim_report.total_time < knem.sim_report.total_time,
+            "rdma timing leg charges the cheaper setup: {} vs {}",
+            rdma.sim_report.total_time,
+            knem.sim_report.total_time
+        );
     }
 
     #[test]

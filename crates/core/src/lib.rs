@@ -60,6 +60,7 @@ pub mod topocache;
 pub mod tree;
 pub mod unionfind;
 pub mod verify;
+pub mod workload;
 
 pub use adaptive::{AdaptiveColl, AdaptivePolicy};
 pub use allgather_ring::Ring;
@@ -71,3 +72,7 @@ pub use recovery::{CollectiveError, RecoveryManager};
 pub use topocache::{TopoCache, TopoCacheStats, TopoKey, TopoKind};
 pub use tree::Tree;
 pub use unionfind::DisjointSets;
+pub use workload::{
+    repro_command, run_workload, stress_iters, sweep, WorkloadConfig, WorkloadError,
+    WorkloadReport,
+};

@@ -92,6 +92,14 @@ fn chunks(bytes: usize, chunk: usize) -> Vec<(usize, usize)> {
     (0..n).map(|c| (c * chunk, chunk.min(bytes - c * chunk))).collect()
 }
 
+/// The `(offset, len)` pipeline spans a `bytes` payload splits into under
+/// chunk size `chunk` — exactly what the schedule builders emit per edge.
+/// `chunk == 0` (chunking disabled) or `bytes <= chunk` yields one span
+/// covering the whole payload.
+pub fn chunk_spans(bytes: usize, chunk: usize) -> Vec<(usize, usize)> {
+    chunks(bytes, chunk)
+}
+
 /// The chunk size for the edge `(a, b)`: the per-distance policy entry when
 /// a matrix is supplied, the class-0 entry otherwise.
 fn edge_chunk(cfg: &SchedConfig, distances: Option<&DistanceMatrix>, a: usize, b: usize) -> usize {

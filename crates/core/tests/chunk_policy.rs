@@ -1,0 +1,144 @@
+//! Unit and property coverage of the per-distance [`ChunkPolicy`] table
+//! and the pipeline chunking math behind every chunked schedule builder:
+//! class-boundary lookups for d0–d8, chunk counts at exact multiples and
+//! off-by-one payload sizes, and span integrity (no empty, overlapping, or
+//! gapped spans) over random payload/chunk combinations.
+
+use proptest::prelude::*;
+
+use pdac_core::sched::{chunk_spans, ChunkPolicy, SchedConfig};
+
+#[test]
+fn default_table_classes_d0_to_d8() {
+    // The tuned table: 128K for class 0 (the "no distance info" slot),
+    // 64K for the near classes 1–2, 128K for the intra-node classes 3–6,
+    // 256K for the off-node classes 7–8.
+    let p = ChunkPolicy::default();
+    assert_eq!(p.chunk_for(0), 128 * 1024);
+    for d in 1..=2 {
+        assert_eq!(p.chunk_for(d), 64 * 1024, "near class d{d}");
+    }
+    for d in 3..=6 {
+        assert_eq!(p.chunk_for(d), 128 * 1024, "intra-node class d{d}");
+    }
+    for d in 7..=8 {
+        assert_eq!(p.chunk_for(d), 256 * 1024, "off-node class d{d}");
+    }
+    // Far classes never pipeline finer than near ones.
+    for d in 1..=8 {
+        assert!(p.chunk_for(d) >= p.chunk_for(1), "monotone-ish table at d{d}");
+    }
+}
+
+#[test]
+fn out_of_range_classes_clamp_to_8() {
+    let p = ChunkPolicy::default();
+    for d in 9..=255u8 {
+        assert_eq!(p.chunk_for(d), p.chunk_for(8));
+    }
+    let mut table = [0usize; 9];
+    table[8] = 7;
+    let p = ChunkPolicy { per_distance: table };
+    assert_eq!(p.chunk_for(200), 7);
+}
+
+#[test]
+fn uniform_policy_is_flat() {
+    let p = ChunkPolicy::uniform(4096);
+    for d in 0..=20u8 {
+        assert_eq!(p.chunk_for(d), 4096);
+    }
+    // `uniform(0)` disables chunking everywhere: one span, whatever the size.
+    let off = SchedConfig::uniform(0);
+    assert_eq!(off.chunk.chunk_for(5), 0);
+    assert_eq!(chunk_spans(10 << 20, off.chunk.chunk_for(5)), vec![(0, 10 << 20)]);
+}
+
+#[test]
+fn chunk_count_at_exact_multiples() {
+    for &(bytes, chunk, want) in &[
+        (256usize, 128usize, 2usize),
+        (128 * 1024, 64 * 1024, 2),
+        (1 << 20, 128 * 1024, 8),
+        (3 * 4096, 4096, 3),
+        (4096, 4096, 1), // bytes == chunk: never split
+    ] {
+        let spans = chunk_spans(bytes, chunk);
+        assert_eq!(spans.len(), want, "{bytes}B / {chunk}B");
+        // Exact multiples produce uniformly sized spans.
+        assert!(spans.iter().all(|&(_, len)| len == bytes.min(chunk)));
+    }
+}
+
+#[test]
+fn chunk_count_off_by_one() {
+    for &(bytes, chunk) in &[
+        (128 * 1024 + 1, 128 * 1024),
+        (128 * 1024 - 1, 128 * 1024),
+        (2 * 4096 + 1, 4096usize),
+        (2 * 4096 - 1, 4096),
+    ] {
+        let spans = chunk_spans(bytes, chunk);
+        let want = if bytes <= chunk { 1 } else { bytes.div_ceil(chunk) };
+        assert_eq!(spans.len(), want, "{bytes}B / {chunk}B");
+        // One byte over a multiple: the tail span carries exactly 1 byte.
+        if bytes > chunk && bytes % chunk == 1 {
+            assert_eq!(spans.last().unwrap().1, 1);
+        }
+        // One byte under: the tail is chunk - 1.
+        if bytes > chunk && bytes % chunk == chunk - 1 {
+            assert_eq!(spans.last().unwrap().1, chunk - 1);
+        }
+    }
+}
+
+#[test]
+fn zero_byte_payload_is_a_single_empty_span() {
+    // A 0-byte collective still needs one op (the notify chain), so the
+    // splitter returns one (0, 0) span rather than none.
+    assert_eq!(chunk_spans(0, 4096), vec![(0, 0)]);
+    assert_eq!(chunk_spans(0, 0), vec![(0, 0)]);
+}
+
+proptest! {
+    /// Chunking never produces empty spans (except the 0-byte payload),
+    /// never overlaps, never leaves gaps, and always covers exactly
+    /// `[0, bytes)` in order.
+    #[test]
+    fn spans_partition_the_payload(
+        bytes in 1usize..2_000_000,
+        chunk in 0usize..300_000,
+    ) {
+        let spans = chunk_spans(bytes, chunk);
+        prop_assert!(!spans.is_empty());
+        let mut cursor = 0usize;
+        for &(off, len) in &spans {
+            prop_assert_eq!(off, cursor, "spans are contiguous and ordered");
+            prop_assert!(len > 0, "no empty span in a nonzero payload");
+            if chunk > 0 {
+                prop_assert!(len <= chunk.max(bytes), "span bounded by chunk size");
+            }
+            cursor = off + len;
+        }
+        prop_assert_eq!(cursor, bytes, "spans cover the payload exactly");
+        if chunk == 0 || bytes <= chunk {
+            prop_assert_eq!(spans.len(), 1);
+        } else {
+            prop_assert_eq!(spans.len(), bytes.div_ceil(chunk));
+        }
+    }
+
+    /// The policy lookup is total over the full `u8` class range and always
+    /// lands on a table entry.
+    #[test]
+    fn lookup_is_total_and_in_table(
+        d in 0u8..=255,
+        entries in proptest::collection::vec(0usize..1_000_000, 9..=9),
+    ) {
+        let mut per_distance = [0usize; 9];
+        per_distance.copy_from_slice(&entries);
+        let p = ChunkPolicy { per_distance };
+        let got = p.chunk_for(d);
+        prop_assert_eq!(got, per_distance[(d as usize).min(8)]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Transport parity matrix: every collective in the distance-aware family
+//! (bcast, allgather, allreduce, alltoall, reduce-scatter), executed on
+//! both paper machines (IG and Zoot), must produce **bit-identical**
+//! payloads under the KNEM backend and the RDMA queue-pair backend — the
+//! [`Transport`] seam changes how bytes move, never which bytes arrive.
+//! Both backends must also enforce the same epoch-fence contract: a
+//! registration stamped with a fenced epoch is rejected with `StaleEpoch`
+//! on either side of the seam.
+
+use std::sync::Arc;
+
+use pdac_core::alltoall::alltoall_schedule;
+use pdac_core::reduce_scatter::reduce_scatter_schedule;
+use pdac_core::sched::{allreduce_schedule, SchedConfig};
+use pdac_core::verify::{pattern, reduced_pattern};
+use pdac_core::{build_bcast_tree, AdaptiveColl, Ring};
+use pdac_hwtopo::{machines, BindingPolicy, Machine};
+use pdac_mpisim::{Communicator, KnemError, ThreadExecutor, TransportKind};
+use pdac_simnet::{BufId, Schedule};
+
+const RANKS: usize = 8;
+const TRANSPORTS: [TransportKind; 2] = [TransportKind::Knem, TransportKind::Rdma];
+
+fn comm_on(machine: Machine) -> Communicator {
+    let machine = Arc::new(machine);
+    // Cross-socket placement touches every distance class the machine has.
+    let binding = BindingPolicy::CrossSocket
+        .bind(&machine, RANKS)
+        .expect("parity placement fits");
+    Communicator::world(machine, binding)
+}
+
+/// Runs `schedule` under both transports and returns the per-rank `Recv`
+/// buffers of each run, asserting they are bit-identical across backends.
+fn run_both(label: &str, schedule: &Schedule, n: usize) -> Vec<Vec<u8>> {
+    let mut per_transport: Vec<Vec<Vec<u8>>> = Vec::new();
+    for kind in TRANSPORTS {
+        let transport = kind.create(None);
+        let res = ThreadExecutor::with_transport(Arc::clone(&transport))
+            .run(schedule, pattern)
+            .unwrap_or_else(|e| panic!("{label} on {}: {e}", kind.label()));
+        let stats = transport.stats();
+        assert!(
+            stats.bytes_copied > 0,
+            "{label} on {} moved payload through the transport",
+            kind.label()
+        );
+        per_transport.push((0..n).map(|r| res.buffer(r, BufId::Recv).to_vec()).collect());
+    }
+    let [knem, rdma] = <[_; 2]>::try_from(per_transport).unwrap();
+    for r in 0..n {
+        assert_eq!(
+            knem[r], rdma[r],
+            "{label}: rank {r} Recv payload differs between knem and rdma"
+        );
+    }
+    knem
+}
+
+#[test]
+fn collective_matrix_is_bit_identical_across_transports() {
+    for machine in [machines::ig(), machines::zoot()] {
+        let comm = comm_on(machine);
+        let n = comm.size();
+        let name = comm.machine().name.clone();
+        let coll = AdaptiveColl::default();
+        let dist = comm.distances();
+        let ring = Ring::build(&dist);
+        let tree = build_bcast_tree(&dist, 0);
+
+        // Bcast: every non-root rank receives the root's bytes.
+        let bytes = 20_000;
+        let recv = run_both(&format!("{name}/bcast"), &coll.bcast(&comm, 0, bytes), n);
+        let root_payload = pattern(0, bytes);
+        for (r, buf) in recv.iter().enumerate().skip(1) {
+            assert_eq!(&buf[..bytes], &root_payload[..], "{name}: bcast rank {r}");
+        }
+
+        // Allgather: rank r's slot p holds rank p's block.
+        let block = 3_000;
+        let recv = run_both(&format!("{name}/allgather"), &coll.allgather(&comm, block), n);
+        for (r, buf) in recv.iter().enumerate() {
+            for p in 0..n {
+                assert_eq!(
+                    &buf[p * block..(p + 1) * block],
+                    &pattern(p, block)[..],
+                    "{name}: allgather rank {r} slot {p}"
+                );
+            }
+        }
+
+        // Allreduce: every rank converges on the elementwise reduction.
+        let bytes = 10_000;
+        let schedule = allreduce_schedule(&tree, bytes, &SchedConfig::default());
+        let recv = run_both(&format!("{name}/allreduce"), &schedule, n);
+        let expected = reduced_pattern(n, bytes);
+        for (r, buf) in recv.iter().enumerate() {
+            assert_eq!(&buf[..bytes], &expected[..], "{name}: allreduce rank {r}");
+        }
+
+        // Alltoall: rank r's slot p holds the block rank p addressed to r.
+        let block = 1_500;
+        let recv = run_both(&format!("{name}/alltoall"), &alltoall_schedule(&ring, block), n);
+        for (r, buf) in recv.iter().enumerate() {
+            for p in 0..n {
+                assert_eq!(
+                    &buf[p * block..(p + 1) * block],
+                    &pattern(p, n * block)[r * block..(r + 1) * block],
+                    "{name}: alltoall rank {r} slot {p}"
+                );
+            }
+        }
+
+        // Reduce-scatter: rank r ends with the fully reduced block r.
+        let block = 2_000;
+        let recv = run_both(
+            &format!("{name}/reduce_scatter"),
+            &reduce_scatter_schedule(&ring, block),
+            n,
+        );
+        let expected = reduced_pattern(n, n * block);
+        for (r, buf) in recv.iter().enumerate() {
+            assert_eq!(
+                &buf[..block],
+                &expected[r * block..(r + 1) * block],
+                "{name}: reduce_scatter rank {r}"
+            );
+        }
+    }
+}
+
+/// Both backends enforce the identical epoch-fence contract: registrations
+/// at or above the fence succeed, a straggler stamped with a fenced epoch
+/// bounces with `StaleEpoch`, and the rejection is counted in the stats.
+#[test]
+fn stale_epoch_is_rejected_on_both_transports() {
+    for kind in TRANSPORTS {
+        let transport = kind.create(None);
+        transport
+            .register(0, BufId::Send, 0, 64, 3)
+            .unwrap_or_else(|e| panic!("{}: live epoch registers: {e:?}", kind.label()));
+        transport.fence_epochs_below(4);
+        match transport.register(1, BufId::Recv, 0, 64, 3) {
+            Err(KnemError::StaleEpoch { epoch, fence }) => {
+                assert_eq!((epoch, fence), (3, 4), "{}", kind.label());
+            }
+            other => panic!("{}: fenced epoch accepted: {other:?}", kind.label()),
+        }
+        transport
+            .register(2, BufId::Send, 0, 64, 4)
+            .unwrap_or_else(|e| panic!("{}: at-fence epoch registers: {e:?}", kind.label()));
+        assert_eq!(
+            transport.fenced_messages(),
+            1,
+            "{}: the rejection is observable in stats",
+            kind.label()
+        );
+    }
+}

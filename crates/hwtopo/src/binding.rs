@@ -43,6 +43,22 @@ impl Binding {
         Binding { rank_to_core: (0..machine.num_cores()).collect() }
     }
 
+    /// Wraps a rank→core list that may place several ranks on the same core
+    /// (oversubscription). Cores are still bounds-checked; only the
+    /// injectivity invariant of [`Self::new`] is waived. This is the
+    /// workload fuzzer's hook: distance computations, schedules and the
+    /// contention simulator all remain well-defined — co-located ranks are
+    /// distance 0 apart and naturally fight over their core's copy engine.
+    pub fn oversubscribed(machine: &Machine, rank_to_core: Vec<CoreId>) -> Result<Self, TopoError> {
+        let cores = machine.num_cores();
+        for &c in &rank_to_core {
+            if c >= cores {
+                return Err(TopoError::CoreOutOfRange { core: c, cores });
+            }
+        }
+        Ok(Binding { rank_to_core })
+    }
+
     /// Number of ranks bound.
     pub fn num_ranks(&self) -> usize {
         self.rank_to_core.len()
@@ -282,6 +298,23 @@ mod tests {
         assert!(matches!(
             BindingPolicy::User(vec![0, 1]).bind(&z, 3),
             Err(TopoError::BindingLength { expected: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn oversubscribed_allows_duplicates_but_not_out_of_range() {
+        let z = machines::zoot();
+        // 32 ranks on 16 cores, two per core — fine.
+        let map: Vec<_> = (0..32).map(|r| r % 16).collect();
+        let b = Binding::oversubscribed(&z, map).unwrap();
+        assert_eq!(b.num_ranks(), 32);
+        assert_eq!(b.core_of(0), b.core_of(16));
+        // rank_on_core reports the first co-located rank.
+        assert_eq!(b.rank_on_core(3), Some(3));
+        // Bounds are still enforced.
+        assert!(matches!(
+            Binding::oversubscribed(&z, vec![0, 99]),
+            Err(TopoError::CoreOutOfRange { core: 99, .. })
         ));
     }
 

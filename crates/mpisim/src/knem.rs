@@ -23,6 +23,18 @@ use pdac_simnet::{BufId, Rank};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Cookie(u64);
 
+impl Cookie {
+    /// The raw id, for embedding into a transport-neutral token.
+    pub(crate) fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a cookie from a raw id minted by [`Self::raw`].
+    pub(crate) fn from_raw(id: u64) -> Self {
+        Cookie(id)
+    }
+}
+
 /// A registered memory region: a byte range of one rank's buffer, stamped
 /// with the communicator epoch it was registered under. The epoch fence
 /// refuses pulls from regions of a dead epoch — a straggler delivering into

@@ -13,6 +13,10 @@
 //!   schedule fragments: eager copy-in/copy-out through a bounce buffer for
 //!   small messages, rendezvous + KNEM single-copy pull for large ones
 //!   (§V-A: the switch sits at 4 KB);
+//! * [`transport`] — the pluggable one-sided transport seam
+//!   (register/tx/complete/fence): the KNEM path and the RDMA-style
+//!   queue-pair backend of [`rdma`] behind one trait, so plans stay
+//!   distance-aware while execution is transport-pluggable;
 //! * [`ThreadExecutor`] — executes any [`pdac_simnet::Schedule`] with real
 //!   threads and real buffers, one thread per rank, serving as the
 //!   correctness oracle for every collective algorithm in `pdac-core`.
@@ -27,7 +31,9 @@ pub mod fault;
 pub mod knem;
 pub mod p2p;
 pub mod p2p_tuning;
+pub mod rdma;
 pub mod thread_exec;
+pub mod transport;
 
 pub use bufpool::{BufferPool, BufferPoolStats};
 pub use comm::Communicator;
@@ -37,4 +43,6 @@ pub use fault::{ExecFaultPlan, RetryPolicy};
 pub use knem::{Cookie, KnemDevice, KnemError, KnemStats};
 pub use p2p::{P2pConfig, SendOps};
 pub use p2p_tuning::{emit_send_tuned, DistanceTunedP2p, P2pParams};
+pub use rdma::{QpState, RdmaDevice, RdmaStats, RdmaTransport};
 pub use thread_exec::{apply_data_op, ExecError, ExecResult, ThreadExecutor, WaitStats};
+pub use transport::{CostHints, KnemTransport, Transport, TransportError, TransportKind, TxToken};

@@ -2,7 +2,8 @@
 //!
 //! One OS thread per rank executes that rank's operations in program order,
 //! blocking on cross-rank dependencies, moving real bytes between real
-//! buffers, and driving the [`KnemDevice`] for every kernel-assisted copy.
+//! buffers, and driving the configured one-sided [`Transport`] (the
+//! [`KnemDevice`] by default) for every `Mech::Knem` copy.
 //! Because [`pdac_simnet::Schedule::validate`] guarantees unordered writes
 //! never overlap, the final buffer contents are deterministic — any
 //! divergence between runs or against the expected collective semantics is
@@ -23,6 +24,7 @@ use crate::completion::CompletionRing;
 use crate::detector::FailureDetector;
 use crate::fault::{ExecFaultPlan, RetryPolicy};
 use crate::knem::{KnemDevice, KnemError, KnemStats};
+use crate::transport::{KnemTransport, Transport};
 
 /// Deadline forced onto runs whose fault plan contains a lethal fault
 /// (crash or dropped notification) when the caller left
@@ -140,7 +142,8 @@ impl From<ScheduleError> for ExecError {
 #[derive(Debug)]
 pub struct ExecResult {
     buffers: HashMap<(Rank, BufId), Vec<u8>>,
-    /// KNEM usage over the run.
+    /// One-sided transport usage over the run (the [`KnemStats`] schema is
+    /// transport-neutral: registrations, copies, bytes, fence rejections).
     pub knem_stats: KnemStats,
     /// Fault-injection and recovery accounting (all zero on a fault-free,
     /// default-policy run).
@@ -190,9 +193,10 @@ impl ExecResult {
 /// Executes schedules with one thread per participating rank.
 #[derive(Debug, Default)]
 pub struct ThreadExecutor {
-    /// Device override (fault injection, shared-device accounting); a fresh
-    /// device is created per run when absent.
-    device: Option<Arc<KnemDevice>>,
+    /// Transport override (fault injection, shared-device accounting,
+    /// backend selection); a fresh KNEM-backed transport is created per run
+    /// when absent.
+    transport: Option<Arc<dyn Transport>>,
     /// Retry/timeout policy; the default is the pre-fault behavior.
     policy: RetryPolicy,
     /// Executor-level fault plan injected into every run.
@@ -462,7 +466,18 @@ impl ThreadExecutor {
     /// injection and cross-run accounting).
     pub fn with_device(device: Arc<KnemDevice>) -> Self {
         ThreadExecutor {
-            device: Some(device),
+            transport: Some(Arc::new(KnemTransport::new(device))),
+            ..Default::default()
+        }
+    }
+
+    /// Creates an executor driving an explicit transport backend — the seam
+    /// that makes execution transport-pluggable while plans stay
+    /// distance-aware: the schedule's `Mech::Knem` ("one-sided pull") is
+    /// mapped onto whichever backend is attached here.
+    pub fn with_transport(transport: Arc<dyn Transport>) -> Self {
+        ThreadExecutor {
+            transport: Some(transport),
             ..Default::default()
         }
     }
@@ -552,7 +567,10 @@ impl ThreadExecutor {
             buffers.insert((rank, buf), RwLock::new(data));
         }
         let buffers = Arc::new(buffers);
-        let knem = self.device.clone().unwrap_or_default();
+        let transport: Arc<dyn Transport> = self
+            .transport
+            .clone()
+            .unwrap_or_else(|| Arc::new(KnemTransport::new(Arc::new(KnemDevice::new()))));
 
         // Partition op ids by executor, preserving program order.
         let mut per_rank: HashMap<Rank, Vec<usize>> = HashMap::new();
@@ -627,7 +645,7 @@ impl ThreadExecutor {
         // KNEM counters are published as this run's delta, so a shared
         // device is not double-counted across runs.
         let histograms = Arc::new(OpHistograms::resolve(telemetry.registry()));
-        let knem_before = knem.stats();
+        let knem_before = transport.stats();
         let detector_before = self.detector.as_ref().map(|d| d.counters());
 
         let mut first_error: Option<ExecError> = None;
@@ -636,7 +654,7 @@ impl ThreadExecutor {
             let mut handles = Vec::new();
             for (&rank, ops) in per_rank.iter() {
                 let buffers = Arc::clone(&buffers);
-                let knem = Arc::clone(&knem);
+                let transport = Arc::clone(&transport);
                 let sync = Arc::clone(&sync);
                 let counters = Arc::clone(&counters);
                 let histograms = Arc::clone(&histograms);
@@ -783,7 +801,15 @@ impl ThreadExecutor {
                         let op_started = Instant::now();
                         let mut attempts = 0u32;
                         loop {
-                            match execute_op(kind, &buffers, &knem, epoch, &pool, rank, class as u8) {
+                            match execute_op(
+                                kind,
+                                &buffers,
+                                transport.as_ref(),
+                                epoch,
+                                &pool,
+                                rank,
+                                class as u8,
+                            ) {
                                 Ok(()) => break,
                                 Err(KnemError::StaleEpoch { epoch, fence }) => {
                                     // Never retried: a fenced epoch does
@@ -882,7 +908,7 @@ impl ThreadExecutor {
         }
 
         let buffers = Arc::try_unwrap(buffers).expect("threads joined");
-        let knem_stats = knem.stats();
+        let knem_stats = transport.stats();
         let mut fault_stats = counters.snapshot();
         if let (Some(det), Some(before)) = (&self.detector, detector_before) {
             // The detector outlives the run (a recovery episode shares one
@@ -984,7 +1010,7 @@ pub fn apply_data_op(op: DataOp, dst: &mut [u8], src: &[u8]) {
 fn execute_op(
     kind: &OpKind,
     buffers: &HashMap<(Rank, BufId), RwLock<Vec<u8>>>,
-    knem: &KnemDevice,
+    transport: &dyn Transport,
     epoch: u64,
     pool: &BufferPool,
     rank: Rank,
@@ -1006,16 +1032,11 @@ fn execute_op(
         return Ok(()); // Notifications carry no payload.
     };
 
-    // For KNEM copies, run the register -> pull -> deregister protocol; the
-    // device validates the region and returns the absolute source location.
+    // One-sided copies run the transport's register -> tx -> complete
+    // protocol (KNEM cookie pull, RDMA read WQEs); the backend validates
+    // the region and returns the absolute source location.
     let (src_rank, src_buf, src_off) = match mech {
-        Mech::Knem => {
-            let cookie = knem.register_epoch(src_rank, src_buf, src_off, bytes, epoch)?;
-            let loc = knem.copy_from(cookie, 0, bytes)?;
-            knem.deregister(cookie)
-                .expect("cookie registered just above");
-            loc
-        }
+        Mech::Knem => transport.pull(src_rank, src_buf, src_off, bytes, epoch, dst_rank)?,
         Mech::Memcpy => (src_rank, src_buf, src_off),
     };
 

@@ -39,7 +39,7 @@ use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use pdac_hwtopo::{core_distance, Binding, Machine};
 
 use crate::fault::{Fault, FaultPlan, FaultStats, SimError};
-use crate::resource::{Calibration, Resource};
+use crate::resource::{Calibration, Resource, TransportModel};
 use crate::route::{copy_route, Route};
 use crate::schedule::{OpId, OpKind, Schedule};
 
@@ -115,6 +115,8 @@ pub struct SimExecutor<'a> {
     fault: Option<FaultPlan>,
     /// Simulated-time budget; exceeding it returns a typed error.
     deadline: Option<f64>,
+    /// One-sided transport whose setup cost is charged per `Mech::Knem` op.
+    transport: TransportModel,
 }
 
 /// Per-run fault-injection state derived from a [`FaultPlan`]. With no
@@ -552,6 +554,7 @@ impl<'a> SimExecutor<'a> {
             full_rates: false,
             fault: None,
             deadline: None,
+            transport: TransportModel::Knem,
         }
     }
 
@@ -562,7 +565,25 @@ impl<'a> SimExecutor<'a> {
         cal: Calibration,
         config: SimConfig,
     ) -> Self {
-        SimExecutor { machine, binding, cal, config, full_rates: false, fault: None, deadline: None }
+        SimExecutor {
+            machine,
+            binding,
+            cal,
+            config,
+            full_rates: false,
+            fault: None,
+            deadline: None,
+            transport: TransportModel::Knem,
+        }
+    }
+
+    /// Charges one-sided operations the setup cost of `model` instead of
+    /// the KNEM trap — the timing-side mirror of the executor's pluggable
+    /// transport seam. The schedule is unchanged (plans stay
+    /// distance-aware); only the per-mechanism cost moves.
+    pub fn with_transport_model(mut self, model: TransportModel) -> Self {
+        self.transport = model;
+        self
     }
 
     /// Disables the incremental solver: every event re-solves the whole
@@ -910,7 +931,11 @@ impl<'a> SimExecutor<'a> {
                     self.binding.core_of(*src_rank),
                     self.binding.core_of(*dst_rank),
                 );
-                self.cal.op_latency(d, *mech == crate::schedule::Mech::Knem)
+                self.cal.op_latency_for(
+                    self.transport,
+                    d,
+                    *mech == crate::schedule::Mech::Knem,
+                )
             }
             OpKind::Notify { from, to } => {
                 let d = core_distance(
@@ -963,6 +988,40 @@ mod tests {
         });
         let diff = rep_knem.total_time - rep_memcpy.total_time;
         assert!((diff - cal.knem_setup).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rdma_model_swaps_the_setup_cost_only() {
+        // Same schedule, same machine: the RDMA model charges `rdma_setup`
+        // instead of `knem_setup` per one-sided op and is otherwise
+        // identical — bandwidth, contention and wire latency are untouched.
+        let ig = machines::ig();
+        let binding = Binding::identity(&ig);
+        let cal = Calibration::ig();
+        let mut b = ScheduleBuilder::new("test", 48);
+        b.copy((0, BufId::Send, 0), (12, BufId::Recv, 0), 65536, Mech::Knem, 12, vec![]);
+        let s = b.finish();
+        let knem = SimExecutor::new(&ig, &binding, SimConfig::default()).run(&s).unwrap();
+        let rdma = SimExecutor::new(&ig, &binding, SimConfig::default())
+            .with_transport_model(TransportModel::Rdma)
+            .run(&s)
+            .unwrap();
+        let diff = knem.total_time - rdma.total_time;
+        assert!(
+            (diff - (cal.knem_setup - cal.rdma_setup)).abs() < 1e-12,
+            "diff {diff} vs setup delta {}",
+            cal.knem_setup - cal.rdma_setup
+        );
+        // Memcpy ops pay no setup under either model.
+        let mut b = ScheduleBuilder::new("test", 48);
+        b.copy((0, BufId::Send, 0), (12, BufId::Recv, 0), 65536, Mech::Memcpy, 12, vec![]);
+        let s = b.finish();
+        let plain = SimExecutor::new(&ig, &binding, SimConfig::default()).run(&s).unwrap();
+        let plain_rdma = SimExecutor::new(&ig, &binding, SimConfig::default())
+            .with_transport_model(TransportModel::Rdma)
+            .run(&s)
+            .unwrap();
+        assert_eq!(plain.total_time.to_bits(), plain_rdma.total_time.to_bits());
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub use engine::{SimConfig, SimExecutor, SimReport, SolverStats};
 pub use fault::{Fault, FaultPlan, FaultStats, SimError};
 pub use predict::{predicted_ops, predicted_ops_from_json, predicted_ops_json, PredictedOp};
 pub use report::{bw_allgather, bw_bcast, bw_p2p, Series, SweepPoint};
-pub use resource::{Calibration, Resource};
+pub use resource::{Calibration, Resource, TransportModel};
 pub use schedule::{
     BufId, DataOp, Mech, Op, OpId, OpKind, Rank, Schedule, ScheduleBuilder, ScheduleError,
 };

@@ -72,6 +72,16 @@ pub struct Calibration {
     /// One-way latency across leaf switches.
     #[serde(default = "default_net_lat_cross")]
     pub net_latency_cross_switch: f64,
+    /// RDMA work-request post + doorbell cost per one-sided transfer. The
+    /// verbs path stays in user space, so this is an order of magnitude
+    /// below the KNEM trap; segments of a pipelined transfer overlap on the
+    /// wire, so it is charged once per operation, not per WQE.
+    #[serde(default = "default_rdma_setup")]
+    pub rdma_setup: f64,
+    /// RDMA work-request granularity in bytes (the wire MTU the executor's
+    /// queue-pair backend segments transfers into).
+    #[serde(default = "default_rdma_mtu")]
+    pub rdma_mtu: usize,
 }
 
 fn default_nic_bw() -> f64 {
@@ -85,6 +95,34 @@ fn default_net_lat_same() -> f64 {
 }
 fn default_net_lat_cross() -> f64 {
     3.2e-6
+}
+fn default_rdma_setup() -> f64 {
+    1.5e-6
+}
+fn default_rdma_mtu() -> usize {
+    4096
+}
+
+/// Which one-sided transport the timing model charges setup costs for.
+/// Plans stay distance-aware either way — only the per-operation mechanism
+/// cost changes, mirroring the executor's pluggable transport seam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TransportModel {
+    /// Kernel-assisted single-copy: every one-sided op pays `knem_setup`.
+    #[default]
+    Knem,
+    /// RDMA-style queue pairs: every one-sided op pays `rdma_setup`.
+    Rdma,
+}
+
+impl TransportModel {
+    /// Short label ("knem", "rdma") for scenario ids and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransportModel::Knem => "knem",
+            TransportModel::Rdma => "rdma",
+        }
+    }
 }
 
 impl Calibration {
@@ -118,6 +156,8 @@ impl Calibration {
             switch_bw: default_switch_bw(),
             net_latency_same_switch: default_net_lat_same(),
             net_latency_cross_switch: default_net_lat_cross(),
+            rdma_setup: default_rdma_setup(),
+            rdma_mtu: default_rdma_mtu(),
         }
     }
 
@@ -139,6 +179,8 @@ impl Calibration {
             switch_bw: default_switch_bw(),
             net_latency_same_switch: default_net_lat_same(),
             net_latency_cross_switch: default_net_lat_cross(),
+            rdma_setup: default_rdma_setup(),
+            rdma_mtu: default_rdma_mtu(),
         }
     }
 
@@ -159,6 +201,8 @@ impl Calibration {
             switch_bw: default_switch_bw(),
             net_latency_same_switch: default_net_lat_same(),
             net_latency_cross_switch: default_net_lat_cross(),
+            rdma_setup: default_rdma_setup(),
+            rdma_mtu: default_rdma_mtu(),
         }
     }
 
@@ -187,11 +231,29 @@ impl Calibration {
 
     /// Latency of a data operation: `base + wire`, plus the KNEM setup for
     /// kernel-assisted copies (the registration cost of an RDMA get plays
-    /// the same role across nodes).
+    /// the same role across nodes). Charges the default transport model;
+    /// see [`Self::op_latency_for`] for the transport-pluggable variant.
     pub fn op_latency(&self, distance: u8, knem: bool) -> f64 {
+        self.op_latency_for(TransportModel::Knem, distance, knem)
+    }
+
+    /// Per-transport setup cost of a one-sided operation.
+    pub fn setup_latency(&self, model: TransportModel) -> f64 {
+        match model {
+            TransportModel::Knem => self.knem_setup,
+            TransportModel::Rdma => self.rdma_setup,
+        }
+    }
+
+    /// Latency of a data operation under an explicit transport model:
+    /// `base + wire`, plus the model's setup cost when the operation is a
+    /// one-sided transfer (`Mech::Knem` in the schedule IR). This is how
+    /// plans stay distance-aware while the charged mechanism cost follows
+    /// the executor's pluggable backend.
+    pub fn op_latency_for(&self, model: TransportModel, distance: u8, one_sided: bool) -> f64 {
         self.base_latency
             + self.wire_latency(distance)
-            + if knem { self.knem_setup } else { 0.0 }
+            + if one_sided { self.setup_latency(model) } else { 0.0 }
     }
 }
 
@@ -229,6 +291,32 @@ mod tests {
         for d in 0..6 {
             assert!(cal.op_latency(d, false) < cal.op_latency(d + 1, false));
             assert!(cal.op_latency(d, false) < cal.op_latency(d, true));
+        }
+    }
+
+    #[test]
+    fn rdma_setup_undercuts_knem_trap() {
+        // The verbs path never enters the kernel on the data path, so the
+        // per-op setup must sit well below the KNEM syscall+cookie cost on
+        // every calibration, and the explicit-model lookup must agree with
+        // the legacy KNEM-only entry point.
+        for cal in [Calibration::zoot(), Calibration::ig(), Calibration::generic()] {
+            assert!(cal.rdma_setup < cal.knem_setup / 2.0);
+            assert!(cal.rdma_mtu > 0);
+            for d in 0..9 {
+                assert_eq!(
+                    cal.op_latency(d, true).to_bits(),
+                    cal.op_latency_for(TransportModel::Knem, d, true).to_bits()
+                );
+                let delta = cal.op_latency_for(TransportModel::Knem, d, true)
+                    - cal.op_latency_for(TransportModel::Rdma, d, true);
+                assert!((delta - (cal.knem_setup - cal.rdma_setup)).abs() < 1e-15);
+                // Two-sided memcpy ops are transport-blind.
+                assert_eq!(
+                    cal.op_latency_for(TransportModel::Knem, d, false).to_bits(),
+                    cal.op_latency_for(TransportModel::Rdma, d, false).to_bits()
+                );
+            }
         }
     }
 

@@ -331,6 +331,121 @@ pub mod collection {
     }
 }
 
+pub mod regressions {
+    //! Failure persistence, mirroring upstream proptest's
+    //! `proptest-regressions/` files: each failing case appends a `cc
+    //! <test-hash-hex> <case> # <test name>` line next to the crate under
+    //! test, and later runs replay the persisted cases before drawing
+    //! random ones. The files are meant to be committed.
+
+    use std::path::PathBuf;
+
+    fn file_for(manifest_dir: &str, source_file: &str) -> PathBuf {
+        let stem = std::path::Path::new(source_file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("unknown");
+        PathBuf::from(manifest_dir).join("proptest-regressions").join(format!("{stem}.txt"))
+    }
+
+    /// Case indices persisted for `test_hash` by earlier failing runs.
+    pub fn load(manifest_dir: &str, source_file: &str, test_hash: u64) -> Vec<u32> {
+        let Ok(text) = std::fs::read_to_string(file_for(manifest_dir, source_file)) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|l| {
+                let l = l.trim();
+                if l.is_empty() || l.starts_with('#') {
+                    return None;
+                }
+                let mut it = l.split_whitespace();
+                if it.next()? != "cc" {
+                    return None;
+                }
+                let h = u64::from_str_radix(it.next()?, 16).ok()?;
+                let case: u32 = it.next()?.parse().ok()?;
+                (h == test_hash).then_some(case)
+            })
+            .collect()
+    }
+
+    /// Records a failing case so future runs replay it first. Best-effort:
+    /// IO errors are swallowed (the panic carrying the repro command is the
+    /// authoritative signal).
+    pub fn save(
+        manifest_dir: &str,
+        source_file: &str,
+        test_name: &str,
+        test_hash: u64,
+        case: u32,
+    ) {
+        let path = file_for(manifest_dir, source_file);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let mut text = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+            "# Failing proptest cases (commit this file; cases replay before random ones).\n\
+             # Format: cc <test-hash-hex> <case-index> # <test name>\n"
+                .to_string()
+        });
+        let entry = format!("cc {test_hash:016x} {case}");
+        if text.lines().any(|l| l.trim().starts_with(&entry)) {
+            return;
+        }
+        text.push_str(&format!("{entry} # {test_name}\n"));
+        let _ = std::fs::write(&path, text);
+    }
+}
+
+/// Driver behind the `proptest!` macro: replays the `PDAC_SEED` case when
+/// set, then persisted regression cases, then `config.cases` random cases.
+/// A failure is persisted to `proptest-regressions/` and reported with a
+/// one-line `PDAC_SEED=<case>` repro command.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn run_property(
+    full_name: &str,
+    name: &str,
+    pkg: &str,
+    manifest_dir: &str,
+    source_file: &str,
+    test_hash: u64,
+    config: test_runner::ProptestConfig,
+    run_case: impl Fn(u32) -> Result<(), test_runner::TestCaseError>,
+) {
+    let fail = |case: u32, e: &test_runner::TestCaseError, fresh: bool| -> ! {
+        if fresh {
+            regressions::save(manifest_dir, source_file, full_name, test_hash, case);
+        }
+        panic!(
+            "property {name} failed at case {case}: {e}\n\
+             repro: PDAC_SEED={case} cargo test -p {pkg} {name}"
+        );
+    };
+    if let Ok(v) = std::env::var("PDAC_SEED") {
+        if let Ok(case) = v.parse::<u32>() {
+            match run_case(case) {
+                Ok(()) => {
+                    eprintln!("{name}: PDAC_SEED={case} passed");
+                    return;
+                }
+                Err(e) => fail(case, &e, false),
+            }
+        }
+    }
+    for case in regressions::load(manifest_dir, source_file, test_hash) {
+        if let Err(e) = run_case(case) {
+            fail(case, &e, false);
+        }
+    }
+    for case in 0..config.cases {
+        if let Err(e) = run_case(case) {
+            fail(case, &e, true);
+        }
+    }
+}
+
 /// One-stop imports mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate as prop;
@@ -435,21 +550,21 @@ macro_rules! __proptest_impl {
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
             let seed = $crate::hash_name(concat!(module_path!(), "::", stringify!($name)));
-            for case in 0..config.cases {
-                let mut rng = $crate::TestRng::for_case(seed, case);
-                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
-                    (|| {
-                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
-                        $body
-                        ::core::result::Result::Ok(())
-                    })();
-                if let ::core::result::Result::Err(e) = outcome {
-                    panic!(
-                        "property {} failed at case {}/{}: {}",
-                        stringify!($name), case, config.cases, e
-                    );
-                }
-            }
+            $crate::run_property(
+                concat!(module_path!(), "::", stringify!($name)),
+                stringify!($name),
+                env!("CARGO_PKG_NAME"),
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                seed,
+                config,
+                |case: u32| {
+                    let mut rng = $crate::TestRng::for_case(seed, case);
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
         }
         $crate::__proptest_impl! { ($cfg) $($rest)* }
     };
@@ -477,6 +592,26 @@ mod tests {
             let f = (-2.0f64..2.0).generate(&mut rng);
             assert!((-2.0..2.0).contains(&f));
         }
+    }
+
+    #[test]
+    fn regression_files_roundtrip_and_dedupe() {
+        let dir = std::env::temp_dir().join(format!("proptest-regr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.to_str().unwrap();
+        let src = "tests/some_suite.rs";
+        assert!(crate::regressions::load(manifest, src, 7).is_empty());
+        crate::regressions::save(manifest, src, "m::prop_a", 7, 42);
+        crate::regressions::save(manifest, src, "m::prop_a", 7, 42); // dedupe
+        crate::regressions::save(manifest, src, "m::prop_b", 9, 3);
+        assert_eq!(crate::regressions::load(manifest, src, 7), vec![42]);
+        assert_eq!(crate::regressions::load(manifest, src, 9), vec![3]);
+        let text =
+            std::fs::read_to_string(dir.join("proptest-regressions/some_suite.txt")).unwrap();
+        assert_eq!(text.lines().filter(|l| l.starts_with("cc ")).count(), 2, "{text}");
+        assert!(text.contains("# m::prop_a"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     proptest! {
